@@ -1,0 +1,66 @@
+"""Figure 3a — performance comparison across NN architectures (Breed vs Random).
+
+Regenerates the architecture grid of the paper (at the configured scale) and
+prints, per (H, L) cell and method, the final train/validation MSE and the
+overfit gap.  The paper's qualitative claim to check: with growing model
+expressivity, Random runs overfit (train < validation, growing gap) while
+Breed's curves stay close.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.experiments.fig3a import run_fig3a
+
+#: architecture grid per scale — "smoke" keeps the corner cells of the paper's 3x3
+GRIDS = {
+    "smoke": ([16, 64], [1, 3]),
+    "small": ([16, 32, 64], [1, 2, 3]),
+    "paper": ([16, 32, 64], [1, 2, 3]),
+}
+
+
+@pytest.mark.benchmark(group="fig3a", min_rounds=1, max_time=1.0, warmup=False)
+def test_fig3a_architecture_study(benchmark, repro_scale):
+    hidden_sizes, layer_counts = GRIDS.get(repro_scale, GRIDS["smoke"])
+
+    result = benchmark.pedantic(
+        run_fig3a,
+        kwargs={
+            "scale": repro_scale,
+            "hidden_sizes": hidden_sizes,
+            "layer_counts": layer_counts,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        (label, method, f"{train:.5f}", f"{val:.5f}", f"{gap:+.5f}")
+        for label, method, train, val, gap in result.summary_rows()
+    ]
+    emit(
+        f"Figure 3a — architecture study ({repro_scale} scale)",
+        format_table(["architecture", "method", "train MSE", "validation MSE", "gap (val-train)"], rows),
+    )
+    emit(
+        "Figure 3a — mean overfit gap per method",
+        format_table(
+            ["method", "mean gap"],
+            [
+                ("Breed", f"{result.mean_overfit_gap('Breed'):+.5f}"),
+                ("Random", f"{result.mean_overfit_gap('Random'):+.5f}"),
+            ],
+        ),
+    )
+
+    # Structural checks: every requested cell produced curves for both methods.
+    assert len(result.cells) == len(hidden_sizes) * len(layer_counts)
+    for cell in result.cells:
+        assert set(cell.curves) == {"Breed", "Random"}
+        for curve in cell.curves.values():
+            assert curve.train_iterations.size > 0

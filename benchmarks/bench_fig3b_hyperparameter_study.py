@@ -1,0 +1,44 @@
+"""Figure 3b — performance comparison across Breed hyper-parameters.
+
+One panel per hyper-parameter (window N, period P, sigma, r_start, r_end,
+r_breakpoint), each value run as an independent Breed experiment with the
+architecture fixed to H=16, L=1 (Table 1, studies 2-3).  Prints, per panel and
+value, the final train/validation MSE and the overfit gap — the series behind
+the paper's six sub-plots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.experiments.fig3b import PAPER_FACTORS, SMOKE_FACTORS, run_fig3b
+
+
+@pytest.mark.benchmark(group="fig3b", min_rounds=1, max_time=1.0, warmup=False)
+def test_fig3b_hyperparameter_study(benchmark, repro_scale):
+    factors = SMOKE_FACTORS if repro_scale == "smoke" else PAPER_FACTORS
+
+    result = benchmark.pedantic(
+        run_fig3b,
+        kwargs={"scale": repro_scale, "factors": factors, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        (factor, f"{value:g}", f"{train:.5f}", f"{val:.5f}", f"{gap:+.5f}")
+        for factor, value, train, val, gap in result.summary_rows()
+    ]
+    emit(
+        f"Figure 3b — Breed hyper-parameter study ({repro_scale} scale, H=16, L=1)",
+        format_table(["hyper-parameter", "value", "train MSE", "validation MSE", "gap (val-train)"], rows),
+    )
+    best = [(panel.factor, f"{panel.best_value():g}") for panel in result.panels]
+    emit("Figure 3b — best value per hyper-parameter (lowest validation MSE)",
+         format_table(["hyper-parameter", "best value"], best))
+
+    assert len(result.panels) == len(factors)
+    for factor, values in factors.items():
+        assert set(result.panel(factor).curves) == {float(v) for v in values}

@@ -1,0 +1,57 @@
+"""Appendix B.1 — heat-solver benches.
+
+Not a paper figure per se, but the substrate every experiment depends on:
+benchmarks the cost of one full trajectory at several grid resolutions
+(including the paper's 64x64) and validates the long-time solution against the
+analytic steady state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.solvers.analytic import steady_state_2d
+from repro.solvers.heat2d import Heat2DConfig, Heat2DImplicitSolver
+
+PARAMS = [300.0, 100.0, 500.0, 200.0, 400.0]
+
+
+@pytest.mark.benchmark(group="solver")
+@pytest.mark.parametrize("grid_size", [16, 32, 64])
+def test_heat2d_trajectory(benchmark, grid_size):
+    config = Heat2DConfig(grid_size=grid_size, n_timesteps=20)
+    solver = Heat2DImplicitSolver(config)
+
+    trajectory = benchmark(lambda: solver.solve(PARAMS))
+    fields = trajectory.as_array()
+    emit(
+        f"Solver bench — implicit Euler, {grid_size}x{grid_size}, 20 steps",
+        format_table(
+            ["metric", "value"],
+            [
+                ("field size", f"{solver.field_size}"),
+                ("temperature range (K)", f"[{fields.min():.1f}, {fields.max():.1f}]"),
+                ("maximum principle", str(bool(fields.min() >= 100.0 - 1e-8 and fields.max() <= 500.0 + 1e-8))),
+            ],
+        ),
+    )
+    assert fields.shape == (21, grid_size * grid_size)
+
+
+@pytest.mark.benchmark(group="solver", min_rounds=1, max_time=1.0, warmup=False)
+def test_heat2d_steady_state_accuracy(benchmark):
+    config = Heat2DConfig(grid_size=32, n_timesteps=600)
+    solver = Heat2DImplicitSolver(config)
+
+    final = benchmark.pedantic(lambda: solver.solve(PARAMS).final_field, rounds=1, iterations=1)
+    analytic = steady_state_2d(config.grid.coordinates, *PARAMS[1:])
+    interior = (slice(2, -2), slice(2, -2))
+    error = np.abs(final.reshape(32, 32)[interior] - analytic[interior]).max()
+    emit(
+        "Solver validation — long-time solution vs analytic steady state (32x32)",
+        f"max interior error after 600 steps: {error:.3f} K (dynamic range 400 K)",
+    )
+    assert error < 5.0

@@ -1,0 +1,44 @@
+"""Table 1 — fixed hyper-parameters of the paper's studies.
+
+Regenerates the table rows (study, sigma, P, N, r_s, r_e, r_c, H, L) and
+benchmarks the configuration-construction path (building every Breed
+configuration of the three studies, including the varied-value grids).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.experiments.table1 import TABLE1, VARIED_VALUES, breed_config_for_study, render_table1
+
+
+def build_all_study_configs() -> int:
+    """Instantiate every BreedConfig implied by Table 1 + Section 4.1 grids."""
+    count = 0
+    # Study 1: architecture is varied, Breed values fixed.
+    breed_config_for_study("study1")
+    count += 1
+    # Study 2: sampling parameters varied one at a time.
+    for factor, values in VARIED_VALUES["study2"].items():
+        for value in values:
+            breed_config_for_study("study2", **{factor: value})
+            count += 1
+    # Study 3: mixing ratio varied one at a time.
+    for factor, values in VARIED_VALUES["study3"].items():
+        for value in values:
+            breed_config_for_study("study3", **{factor: value})
+            count += 1
+    return count
+
+
+def test_table1_configurations(benchmark):
+    count = benchmark(build_all_study_configs)
+    emit("Table 1 — fixed hyper-parameters per study (paper values)", render_table1())
+    varied = "\n".join(
+        f"{study}: " + ", ".join(f"{k}={v}" for k, v in grids.items())
+        for study, grids in VARIED_VALUES.items()
+    )
+    emit("Section 4.1 — varied-value grids", varied)
+    assert count == 1 + sum(len(v) for v in VARIED_VALUES["study2"].values()) + sum(
+        len(v) for v in VARIED_VALUES["study3"].values()
+    )
+    assert set(TABLE1) == {"study1", "study2", "study3"}

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures at the ``smoke``
+scale (see ``repro.experiments.base.SCALES``) and prints the reproduced
+rows/series; run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+The scale can be overridden with ``--repro-scale small`` for longer runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="smoke",
+        choices=["smoke", "small", "paper"],
+        help="experiment scale used by the figure-reproduction benches",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request) -> str:
+    return request.config.getoption("--repro-scale")
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced table/figure with a visible banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

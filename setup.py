@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517/660 editable installs (which build an editable wheel) are unavailable.
+Keeping a ``setup.py`` lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``python setup.py develop``) perform a legacy
+editable install.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

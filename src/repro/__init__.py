@@ -1,0 +1,44 @@
+"""repro — reproduction of "MelissaDL x Breed: Towards Data-Efficient On-line
+Supervised Training of Multi-parametric Surrogates with Active Learning"
+(Dymchenko, Purandare, Raffin — SC24 Workshop AI4S'24).
+
+Package layout
+--------------
+``repro.nn``
+    NumPy reverse-mode autograd engine, dense layers, losses, optimizers
+    (the PyTorch substitute).
+``repro.solvers``
+    Finite-difference heat-equation solvers and analytic references
+    (the numerical "oracle" producing training data).
+``repro.sampling``
+    Parameter boxes, Halton/uniform/LHS sampling, Gaussian mixtures and
+    weighted resampling.
+``repro.melissa``
+    In-process simulation of the Melissa DL on-line training framework
+    (launcher, batch scheduler, clients, reservoir, server, steering).
+``repro.breed``
+    The paper's contribution: loss-deviation acquisition metric, one-step
+    AMIS/PMC proposal construction, concentrate–explore mixing, and the
+    steering controller.
+``repro.surrogate``
+    The multi-parametric direct surrogate MLP, its scalers, offline datasets
+    and the fixed Halton validation set.
+``repro.workflow``
+    Parameter-grid study orchestration (Snakemake substitute).
+``repro.analysis``
+    Figure/series generation: loss curves, parameter-deviation histograms and
+    the loss-statistics correlation matrix.
+``repro.experiments``
+    One module per paper table/figure, reproducing its rows/series.
+"""
+
+__version__ = "1.0.0"
+
+from repro.melissa.run import OnlineTrainingConfig, OnlineTrainingResult, run_online_training
+
+__all__ = [
+    "__version__",
+    "OnlineTrainingConfig",
+    "OnlineTrainingResult",
+    "run_online_training",
+]

@@ -1,0 +1,137 @@
+"""Glue between the training server and the launcher steering (Section 3.3).
+
+The :class:`BreedController` is what the Melissa server owns.  Its job is to
+
+* forward per-sample training losses into the steering sampler,
+* decide, after every NN iteration, whether a resampling should be triggered,
+* when triggered, ask the launcher for a consistent view of which simulations
+  can still be re-parameterised (everything from ``S_{k+m}`` onwards, where
+  ``k`` is the highest simulation id the launcher has seen and ``m`` the job
+  limit), and
+* push the new parameter vectors back through the launcher's
+  ``update_parameters`` interface.
+
+The controller is sampler-agnostic: with a :class:`~repro.breed.samplers.RandomSampler`
+it simply never triggers, reproducing the paper's baseline behaviour with the
+identical code path (so overhead comparisons are fair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.breed.samplers import ParameterSource, ResampleDecision, SteeringSampler
+from repro.utils.logging import EventLog
+from repro.utils.timer import Timer
+
+__all__ = ["SteeringTarget", "SteeringRecord", "BreedController"]
+
+
+class SteeringTarget(Protocol):
+    """The launcher-side interface the controller steers (see §3.3)."""
+
+    def steerable_simulation_ids(self) -> List[int]:
+        """Ids of simulations whose parameters may still be replaced safely."""
+        ...
+
+    def update_parameters(self, simulation_id: int, parameters: np.ndarray, source: str) -> None:
+        """Replace the input parameters of a pending simulation."""
+        ...
+
+
+@dataclass
+class SteeringRecord:
+    """Bookkeeping of one applied steering action (for analysis and tests)."""
+
+    iteration: int
+    resampling_index: int
+    simulation_ids: List[int]
+    sources: List[str]
+    n_requested: int
+    n_applied: int
+    elapsed_seconds: float
+
+
+@dataclass
+class BreedController:
+    """Owns the sampler and applies its decisions to the launcher."""
+
+    sampler: SteeringSampler
+    rng: np.random.Generator
+    event_log: Optional[EventLog] = None
+    #: accumulated wall-clock time spent inside resampling (overhead metric)
+    steering_timer: Timer = field(default_factory=lambda: Timer(name="steering"))
+    records: List[SteeringRecord] = field(default_factory=list)
+
+    # ---------------------------------------------------------------- losses
+    def observe_batch(
+        self,
+        iteration: int,
+        simulation_ids: Sequence[int],
+        timesteps: Sequence[int],
+        sample_losses: Sequence[float],
+        parameters: Optional[Sequence[np.ndarray]] = None,
+    ) -> None:
+        """Forward per-sample losses of one training batch to the sampler."""
+        self.sampler.observe_batch(iteration, simulation_ids, timesteps, sample_losses, parameters)
+
+    # -------------------------------------------------------------- steering
+    def maybe_steer(self, iteration: int, target: SteeringTarget) -> Optional[SteeringRecord]:
+        """Trigger-and-apply: called by the server after every NN iteration."""
+        if not self.sampler.should_resample(iteration):
+            return None
+        with self.steering_timer.span():
+            steerable = target.steerable_simulation_ids()
+            if not steerable:
+                if self.event_log is not None:
+                    self.event_log.emit("breed", "steering_skipped", step=iteration, reason="no pending simulations")
+                return None
+            decision = self.sampler.resample(len(steerable), iteration, self.rng)
+            if decision is None or len(decision) == 0:
+                return None
+            n_applied = self._apply(decision, steerable, target)
+        record = SteeringRecord(
+            iteration=iteration,
+            resampling_index=decision.resampling_index,
+            simulation_ids=list(steerable[:n_applied]),
+            sources=list(decision.sources[:n_applied]),
+            n_requested=len(steerable),
+            n_applied=n_applied,
+            elapsed_seconds=self.steering_timer.total,
+        )
+        self.records.append(record)
+        if self.event_log is not None:
+            self.event_log.emit(
+                "breed",
+                "steering_applied",
+                step=iteration,
+                n_applied=n_applied,
+                n_uniform=sum(1 for s in record.sources if s == ParameterSource.MIX_UNIFORM),
+                n_proposal=sum(1 for s in record.sources if s == ParameterSource.PROPOSAL),
+            )
+        return record
+
+    def _apply(self, decision: ResampleDecision, steerable: List[int], target: SteeringTarget) -> int:
+        n = min(len(decision), len(steerable))
+        for index in range(n):
+            sim_id = steerable[index]
+            params = decision.parameters[index]
+            target.update_parameters(sim_id, params, decision.sources[index])
+            # Keep the sampler's view of parameters consistent for future windows.
+            register = getattr(self.sampler, "register_parameters", None)
+            if register is not None:
+                register(sim_id, params)
+        return n
+
+    # ------------------------------------------------------------- overhead
+    @property
+    def total_steering_seconds(self) -> float:
+        """Total wall-clock time spent choosing new parameters (paper: negligible)."""
+        return self.steering_timer.total
+
+    @property
+    def n_steering_events(self) -> int:
+        return len(self.records)

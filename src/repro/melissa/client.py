@@ -1,0 +1,97 @@
+"""Client: one solver instance streaming its trajectory to the server.
+
+In the real framework each client is an MPI job running the numerical solver
+and pushing every produced time step to the server over the network.  Here a
+client wraps a :class:`repro.solvers.base.Solver` generator and exposes
+:meth:`produce`, which advances the solver by a bounded number of time steps
+per call — this is what lets the simulation interleave data production with
+NN training the way the asynchronous real system does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.melissa.messages import SimulationFinished, TimeStepMessage
+from repro.solvers.base import Solver
+
+__all__ = ["SolverClient", "ClientFactory"]
+
+
+class SolverClient:
+    """Streams the trajectory of one parameter vector, time step by time step."""
+
+    def __init__(self, simulation_id: int, parameters: np.ndarray, solver: Solver) -> None:
+        self.simulation_id = simulation_id
+        self.parameters = np.asarray(parameters, dtype=np.float64).copy()
+        self.solver = solver
+        self._iterator: Optional[Iterator[np.ndarray]] = None
+        self._next_timestep = 0
+        self.finished = False
+        #: number of time steps produced so far
+        self.n_produced = 0
+
+    def _ensure_started(self) -> None:
+        if self._iterator is None:
+            self._iterator = self.solver.steps(self.parameters)
+
+    def produce(self, max_steps: int) -> List[TimeStepMessage]:
+        """Produce up to ``max_steps`` further time steps of the trajectory.
+
+        Returns the produced messages; sets :attr:`finished` when the solver
+        iterator is exhausted.  Calling again after completion returns an
+        empty list.
+        """
+        if max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if self.finished:
+            return []
+        self._ensure_started()
+        assert self._iterator is not None
+        messages: List[TimeStepMessage] = []
+        for _ in range(max_steps):
+            try:
+                payload = next(self._iterator)
+            except StopIteration:
+                self.finished = True
+                break
+            messages.append(
+                TimeStepMessage(
+                    simulation_id=self.simulation_id,
+                    parameters=self.parameters,
+                    timestep=self._next_timestep,
+                    payload=payload,
+                )
+            )
+            self._next_timestep += 1
+            self.n_produced += 1
+        return messages
+
+    def finish_message(self) -> SimulationFinished:
+        return SimulationFinished(simulation_id=self.simulation_id, n_timesteps=self.n_produced)
+
+    @property
+    def expected_timesteps(self) -> int:
+        """Total number of time steps the client will produce (t = 0 .. T)."""
+        return self.solver.n_timesteps + 1
+
+
+@dataclass
+class ClientFactory:
+    """Creates a :class:`SolverClient` per started simulation job.
+
+    A single solver instance is shared across clients: the implicit solver
+    pre-factorises its linear system once, and clients only differ by their
+    boundary/initial parameters, exactly like the in-house solver of the paper
+    where the factorisation depends on the mesh, not on ``λ``.
+    """
+
+    solver: Solver
+    created: List[int] = field(default_factory=list)
+
+    def create(self, simulation_id: int, parameters: np.ndarray) -> SolverClient:
+        self.created.append(simulation_id)
+        return SolverClient(simulation_id, parameters, self.solver)

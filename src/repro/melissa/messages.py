@@ -1,0 +1,83 @@
+"""Message types exchanged between clients, server and launcher.
+
+In the real Melissa framework these are ZeroMQ messages; in the in-process
+simulation they are plain dataclasses routed through
+:class:`repro.melissa.transport.InProcessTransport`.  Keeping an explicit
+message layer (rather than direct method calls) preserves the decoupling of
+the original architecture and makes the streaming order visible to tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "Message",
+    "TimeStepMessage",
+    "SimulationStarted",
+    "SimulationFinished",
+    "ParameterUpdate",
+    "StopClient",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of every framework message."""
+
+    #: id of the simulation the message refers to (None for broadcast/control)
+    simulation_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TimeStepMessage(Message):
+    """One solver time step streamed from a client to the server."""
+
+    parameters: np.ndarray = field(default_factory=lambda: np.empty(0))
+    timestep: int = 0
+    payload: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parameters", np.asarray(self.parameters, dtype=np.float64))
+        object.__setattr__(self, "payload", np.asarray(self.payload, dtype=np.float64).reshape(-1))
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate message size (used by the framework-overhead bench)."""
+        return int(self.payload.nbytes + self.parameters.nbytes + 16)
+
+
+@dataclass(frozen=True)
+class SimulationStarted(Message):
+    """Emitted by the launcher when a client job starts running."""
+
+    parameters: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parameters", np.asarray(self.parameters, dtype=np.float64))
+
+
+@dataclass(frozen=True)
+class SimulationFinished(Message):
+    """Emitted by a client after streaming its last time step."""
+
+    n_timesteps: int = 0
+
+
+@dataclass(frozen=True)
+class ParameterUpdate(Message):
+    """Steering request from the server to the launcher (Section 3.3)."""
+
+    parameters: np.ndarray = field(default_factory=lambda: np.empty(0))
+    source: str = "proposal"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parameters", np.asarray(self.parameters, dtype=np.float64))
+
+
+@dataclass(frozen=True)
+class StopClient(Message):
+    """Control message asking a running client to stop (graceful shutdown)."""

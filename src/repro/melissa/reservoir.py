@@ -1,0 +1,173 @@
+"""The reservoir: the server's bounded training buffer (Appendix A).
+
+Behaviour reproduced from the paper and [Meyer et al., SC'23]:
+
+* newly received samples are stored in the buffer; once the buffer is full
+  they replace *already-seen* entries chosen at random,
+* if every buffered sample is still unseen (the trainer has not consumed them
+  yet), incoming data is rejected and the client executions are paused
+  temporarily — this is the back-pressure that prevents training data from
+  being dropped before ever being used,
+* training does not start before the buffer holds at least ``watermark``
+  unique samples,
+* training batches are drawn uniformly at random from the buffer, so each
+  sample can be reused by several batches (the per-entry ``seen_count`` makes
+  that reuse measurable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ReservoirEntry", "ReservoirBatch", "Reservoir"]
+
+
+@dataclass
+class ReservoirEntry:
+    """One buffered training sample (already normalised for the NN)."""
+
+    simulation_id: int
+    timestep: int
+    x: np.ndarray
+    y: np.ndarray
+    seen_count: int = 0
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64).reshape(-1)
+        self.y = np.asarray(self.y, dtype=np.float64).reshape(-1)
+
+
+@dataclass
+class ReservoirBatch:
+    """A training batch assembled from reservoir entries."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    simulation_ids: np.ndarray
+    timesteps: np.ndarray
+
+    def __len__(self) -> int:
+        return self.inputs.shape[0]
+
+
+class Reservoir:
+    """Bounded random-replacement buffer with a training watermark."""
+
+    def __init__(self, capacity: int, watermark: int, rng: np.random.Generator) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if watermark < 1:
+            raise ValueError("watermark must be >= 1")
+        if watermark > capacity:
+            raise ValueError("watermark cannot exceed capacity")
+        self.capacity = capacity
+        self.watermark = watermark
+        self._rng = rng
+        self._entries: List[ReservoirEntry] = []
+        # --- statistics
+        self.n_received = 0
+        self.n_rejected = 0
+        self.n_evicted = 0
+        self.n_batches = 0
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def ready_for_training(self) -> bool:
+        """True once the watermark has been reached at least once."""
+        return len(self._entries) >= self.watermark
+
+    @property
+    def n_unseen(self) -> int:
+        return sum(1 for e in self._entries if e.seen_count == 0)
+
+    def seen_counts(self) -> np.ndarray:
+        return np.array([e.seen_count for e in self._entries], dtype=np.int64)
+
+    def entries(self) -> Sequence[ReservoirEntry]:
+        """Read-only view of the buffered entries (used by tests/analysis)."""
+        return tuple(self._entries)
+
+    def can_accept(self) -> bool:
+        """Whether a new sample would be stored rather than rejected."""
+        if not self.is_full:
+            return True
+        return self.n_unseen < len(self._entries)
+
+    # ---------------------------------------------------------------- writes
+    def put(
+        self,
+        simulation_id: int,
+        timestep: int,
+        x: np.ndarray,
+        y: np.ndarray,
+    ) -> bool:
+        """Insert a sample; returns ``False`` when rejected (clients must pause)."""
+        self.n_received += 1
+        entry = ReservoirEntry(simulation_id=simulation_id, timestep=timestep, x=x, y=y)
+        if not self.is_full:
+            self._entries.append(entry)
+            return True
+        # Full: replace a random already-seen entry; reject if every entry is unseen.
+        seen_indices = [i for i, e in enumerate(self._entries) if e.seen_count > 0]
+        if not seen_indices:
+            self.n_rejected += 1
+            return False
+        victim = int(self._rng.choice(seen_indices))
+        self._entries[victim] = entry
+        self.n_evicted += 1
+        return True
+
+    # ---------------------------------------------------------------- reads
+    def sample_batch(self, batch_size: int) -> Optional[ReservoirBatch]:
+        """Draw a uniform random batch (without replacement within the batch).
+
+        Returns ``None`` while the watermark has not been reached or when the
+        buffer is empty.  When the buffer holds fewer samples than
+        ``batch_size`` the whole buffer is returned (shuffled).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not self.ready_for_training or not self._entries:
+            return None
+        n = len(self._entries)
+        take = min(batch_size, n)
+        indices = self._rng.choice(n, size=take, replace=False)
+        xs = np.stack([self._entries[i].x for i in indices], axis=0)
+        ys = np.stack([self._entries[i].y for i in indices], axis=0)
+        sim_ids = np.array([self._entries[i].simulation_id for i in indices], dtype=np.int64)
+        steps = np.array([self._entries[i].timestep for i in indices], dtype=np.int64)
+        for i in indices:
+            self._entries[i].seen_count += 1
+        self.n_batches += 1
+        return ReservoirBatch(inputs=xs, targets=ys, simulation_ids=sim_ids, timesteps=steps)
+
+    # ------------------------------------------------------------- analysis
+    def reuse_statistics(self) -> Tuple[float, int]:
+        """Mean and maximum seen-count over the current buffer content."""
+        if not self._entries:
+            return 0.0, 0
+        counts = self.seen_counts()
+        return float(counts.mean()), int(counts.max())
+
+    def summary(self) -> dict[str, float]:
+        mean_reuse, max_reuse = self.reuse_statistics()
+        return {
+            "size": float(len(self._entries)),
+            "capacity": float(self.capacity),
+            "received": float(self.n_received),
+            "rejected": float(self.n_rejected),
+            "evicted": float(self.n_evicted),
+            "batches": float(self.n_batches),
+            "mean_reuse": mean_reuse,
+            "max_reuse": float(max_reuse),
+        }

@@ -1,0 +1,110 @@
+"""In-process transport simulating the framework's messaging fabric.
+
+The real Melissa deployment connects clients to the server over ZeroMQ; the
+reproduction replaces it with bounded FIFO channels.  The transport records
+volume statistics so the framework-overhead benchmark can report how many
+bytes would have crossed the network (and, for the off-line comparison, how
+many bytes would have been written to disk instead).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.melissa.messages import Message, TimeStepMessage
+
+__all__ = ["Channel", "InProcessTransport", "TransportStats"]
+
+
+@dataclass
+class TransportStats:
+    """Counters of messages/bytes that flowed through a channel."""
+
+    n_messages: int = 0
+    n_bytes: int = 0
+    max_depth: int = 0
+
+    def record(self, message: Message, depth: int) -> None:
+        self.n_messages += 1
+        if isinstance(message, TimeStepMessage):
+            self.n_bytes += message.nbytes
+        self.max_depth = max(self.max_depth, depth)
+
+
+class Channel:
+    """A bounded FIFO message channel.
+
+    ``maxsize=0`` means unbounded.  ``put`` returns ``False`` when the channel
+    is full, mirroring the back-pressure the real framework applies to clients
+    when the server cannot keep up.
+    """
+
+    def __init__(self, name: str, maxsize: int = 0) -> None:
+        self.name = name
+        self.maxsize = maxsize
+        self._queue: Deque[Message] = deque()
+        self.stats = TransportStats()
+
+    def put(self, message: Message) -> bool:
+        if self.maxsize and len(self._queue) >= self.maxsize:
+            return False
+        self._queue.append(message)
+        self.stats.record(message, len(self._queue))
+        return True
+
+    def get(self) -> Optional[Message]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def drain(self, limit: Optional[int] = None) -> List[Message]:
+        """Pop up to ``limit`` messages (all of them when ``limit`` is None)."""
+        out: List[Message] = []
+        while self._queue and (limit is None or len(out) < limit):
+            out.append(self._queue.popleft())
+        return out
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[Message]:  # pragma: no cover - convenience
+        return iter(list(self._queue))
+
+
+class InProcessTransport:
+    """Named channels connecting the framework components."""
+
+    def __init__(self, data_channel_maxsize: int = 0) -> None:
+        self.channels: Dict[str, Channel] = {
+            # clients -> server (solution fields)
+            "data": Channel("data", maxsize=data_channel_maxsize),
+            # server -> launcher (steering requests)
+            "steering": Channel("steering"),
+            # launcher -> server (job lifecycle notifications)
+            "jobs": Channel("jobs"),
+        }
+
+    def channel(self, name: str) -> Channel:
+        if name not in self.channels:
+            self.channels[name] = Channel(name)
+        return self.channels[name]
+
+    @property
+    def data(self) -> Channel:
+        return self.channels["data"]
+
+    @property
+    def steering(self) -> Channel:
+        return self.channels["steering"]
+
+    @property
+    def jobs(self) -> Channel:
+        return self.channels["jobs"]
+
+    def total_bytes(self) -> int:
+        return sum(c.stats.n_bytes for c in self.channels.values())
+
+    def total_messages(self) -> int:
+        return sum(c.stats.n_messages for c in self.channels.values())

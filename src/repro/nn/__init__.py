@@ -1,0 +1,67 @@
+"""NumPy-based neural-network substrate (autograd, layers, losses, optimizers).
+
+This package replaces PyTorch in the reproduction: it provides exactly the
+functionality the paper's surrogate training requires (dense ReLU MLPs, MSE
+with per-sample losses, Adam) implemented on top of a small reverse-mode
+autodiff engine that is verified against finite differences.
+"""
+
+from repro.nn import functional
+from repro.nn.grad_check import check_gradients, check_module_gradients, numerical_gradient
+from repro.nn.init import kaiming_normal, kaiming_uniform, xavier_normal, xavier_uniform
+from repro.nn.layers import Dropout, Identity, LeakyReLU, Linear, ReLU, Sequential, Tanh
+from repro.nn.losses import BatchLossRecord, L1Loss, MSELoss, PerSampleLossTracker
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, AdamW, Optimizer
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineAnnealingLR,
+    LRScheduler,
+    ReduceLROnPlateau,
+    StepLR,
+)
+from repro.nn.serialization import load_checkpoint, load_state_dict, save_checkpoint, save_state_dict
+from repro.nn.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "functional",
+    "check_gradients",
+    "check_module_gradients",
+    "numerical_gradient",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "Dropout",
+    "Identity",
+    "LeakyReLU",
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "Tanh",
+    "BatchLossRecord",
+    "L1Loss",
+    "MSELoss",
+    "PerSampleLossTracker",
+    "Module",
+    "Parameter",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "Optimizer",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "LRScheduler",
+    "ReduceLROnPlateau",
+    "StepLR",
+    "load_checkpoint",
+    "load_state_dict",
+    "save_checkpoint",
+    "save_state_dict",
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "is_grad_enabled",
+    "no_grad",
+    "stack",
+]

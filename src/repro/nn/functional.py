@@ -1,0 +1,118 @@
+"""Functional interface on top of :class:`repro.nn.tensor.Tensor`.
+
+These free functions mirror a minimal subset of ``torch.nn.functional`` so the
+surrogate model and training loop read like their PyTorch equivalents in the
+original Melissa code base.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = [
+    "linear",
+    "relu",
+    "leaky_relu",
+    "tanh",
+    "sigmoid",
+    "mse_loss",
+    "per_sample_mse",
+    "l1_loss",
+    "softmax",
+    "dropout",
+]
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout: (out, in))."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """LeakyReLU implemented from primitive ops (stays differentiable)."""
+    positive = x.relu()
+    negative = (-x).relu() * (-negative_slope)
+    return positive + negative
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def mse_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Mean-squared error.
+
+    ``reduction`` is one of ``"mean"``, ``"sum"`` or ``"none"``.  With
+    ``"none"`` the per-element squared errors are returned (callers typically
+    then reduce per sample, see :func:`per_sample_mse`).
+    """
+    target = as_tensor(target)
+    diff = prediction - target
+    squared = diff * diff
+    if reduction == "mean":
+        return squared.mean()
+    if reduction == "sum":
+        return squared.sum()
+    if reduction == "none":
+        return squared
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def per_sample_mse(prediction: Tensor, target: Tensor) -> Tensor:
+    """Per-sample MSE for a batch: mean over feature axes, keep the batch axis.
+
+    This is the quantity Breed consumes: the loss of each individual sample in
+    a batch (``l_{jt}`` in the paper), from which batch mean/std and the
+    deviation statistic are computed without any extra forward passes.
+    """
+    target = as_tensor(target)
+    diff = prediction - target
+    squared = diff * diff
+    if squared.ndim == 1:
+        return squared
+    axes = tuple(range(1, squared.ndim))
+    return squared.mean(axis=axes)
+
+
+def l1_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    target = as_tensor(target)
+    diff = (prediction - target).abs()
+    if reduction == "mean":
+        return diff.mean()
+    if reduction == "sum":
+        return diff.sum()
+    if reduction == "none":
+        return diff
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis`` (used in diagnostics only)."""
+    shifted = x - Tensor(np.max(x.data, axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout.  No-op when not training or when ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)

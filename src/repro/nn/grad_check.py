@@ -1,0 +1,109 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Used by the test suite (and available to downstream users extending the layer
+zoo) to verify that analytic gradients produced by
+:meth:`repro.nn.tensor.Tensor.backward` match central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients", "check_module_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function of an array."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        f_plus = fn(x)
+        flat[index] = original - epsilon
+        f_minus = fn(x)
+        flat[index] = original
+        grad_flat[index] = (f_plus - f_minus) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    epsilon: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> bool:
+    """Compare autograd gradients of ``fn`` (scalar output) with finite differences."""
+    x = np.asarray(x, dtype=np.float64)
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = fn(tensor)
+    if out.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    out.backward()
+    analytic = tensor.grad
+    if analytic is None:
+        raise RuntimeError("no gradient was accumulated on the input tensor")
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return float(fn(Tensor(arr)).item())
+
+    numeric = numerical_gradient(scalar_fn, x.copy(), epsilon=epsilon)
+    return bool(np.allclose(analytic, numeric, rtol=rtol, atol=atol))
+
+
+def check_module_gradients(
+    module: Module,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    loss_fn: Callable[[Tensor, Tensor], Tensor],
+    parameters: Sequence[str] | None = None,
+    epsilon: float = 1e-6,
+    rtol: float = 1e-3,
+    atol: float = 1e-5,
+) -> dict[str, bool]:
+    """Gradient-check every (or a subset of) parameter(s) of a module.
+
+    Returns a mapping ``parameter name -> bool`` indicating whether the
+    analytic gradient matched finite differences.
+    """
+    x = Tensor(np.asarray(inputs, dtype=np.float64))
+    y = Tensor(np.asarray(targets, dtype=np.float64))
+
+    module.zero_grad()
+    loss = loss_fn(module(x), y)
+    loss.backward()
+
+    results: dict[str, bool] = {}
+    named = dict(module.named_parameters())
+    names = list(named) if parameters is None else list(parameters)
+    for name in names:
+        param = named[name]
+        analytic = param.grad
+        if analytic is None:
+            results[name] = False
+            continue
+        numeric = np.zeros_like(param.data)
+        flat = param.data.reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for index in range(flat.size):
+            original = flat[index]
+            flat[index] = original + epsilon
+            f_plus = float(loss_fn(module(x), y).item())
+            flat[index] = original - epsilon
+            f_minus = float(loss_fn(module(x), y).item())
+            flat[index] = original
+            numeric_flat[index] = (f_plus - f_minus) / (2.0 * epsilon)
+        results[name] = bool(np.allclose(analytic, numeric, rtol=rtol, atol=atol))
+    return results

@@ -1,0 +1,67 @@
+"""Weight-initialisation schemes for dense layers.
+
+The paper's surrogates are ReLU MLPs; we default to Kaiming-uniform
+initialisation (the PyTorch ``nn.Linear`` default) so that training dynamics
+are comparable to the original implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "kaiming_uniform",
+    "kaiming_normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "zeros",
+    "uniform_bias",
+]
+
+
+def _fan_in_out(shape: Tuple[int, int]) -> Tuple[int, int]:
+    if len(shape) != 2:
+        raise ValueError(f"dense initialisers expect 2-D weight shapes, got {shape}")
+    out_features, in_features = shape
+    return in_features, out_features
+
+
+def kaiming_uniform(shape: Tuple[int, int], rng: np.random.Generator, a: float = math.sqrt(5)) -> np.ndarray:
+    """Kaiming/He uniform init, PyTorch's default for ``nn.Linear`` weights."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    std = gain / math.sqrt(fan_in)
+    bound = math.sqrt(3.0) * std
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """He normal init suited to ReLU activations."""
+    fan_in, _ = _fan_in_out(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def uniform_bias(out_features: int, in_features: int, rng: np.random.Generator) -> np.ndarray:
+    """PyTorch's default bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / math.sqrt(in_features) if in_features > 0 else 0.0
+    return rng.uniform(-bound, bound, size=(out_features,))

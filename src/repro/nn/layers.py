@@ -1,0 +1,141 @@
+"""Dense layers and containers used by the surrogate MLP."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init as init_schemes
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["Linear", "ReLU", "LeakyReLU", "Tanh", "Identity", "Dropout", "Sequential"]
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with PyTorch-compatible weight layout.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    bias:
+        Whether to learn an additive bias (default True).
+    rng:
+        Generator used for initialisation; a fresh default generator is used
+        when omitted (mainly convenient in tests).
+    init:
+        One of ``"kaiming_uniform"`` (default), ``"kaiming_normal"``,
+        ``"xavier_uniform"``, ``"xavier_normal"``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        init: str = "kaiming_uniform",
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer sizes must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng if rng is not None else np.random.default_rng()
+        initialisers = {
+            "kaiming_uniform": init_schemes.kaiming_uniform,
+            "kaiming_normal": init_schemes.kaiming_normal,
+            "xavier_uniform": init_schemes.xavier_uniform,
+            "xavier_normal": init_schemes.xavier_normal,
+        }
+        if init not in initialisers:
+            raise ValueError(f"unknown init scheme {init!r}; options: {sorted(initialisers)}")
+        weight = initialisers[init]((out_features, in_features), rng)
+        self.weight = Parameter(weight, name="weight")
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(
+                init_schemes.uniform_bias(out_features, in_features, rng), name="bias"
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class ReLU(Module):
+    """Element-wise rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Ordered container applying sub-modules one after another."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: List[str] = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            self.add_module(name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = f"layer{len(self._order)}"
+        self.add_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterable[Module]:
+        return iter(self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x

@@ -1,0 +1,124 @@
+"""Module/Parameter containers, mirroring the ``torch.nn.Module`` contract."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor flagged as trainable; collected by :meth:`Module.parameters`."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural-network components.
+
+    Sub-modules and parameters assigned as attributes are registered
+    automatically; :meth:`parameters` walks the tree.  Unlike PyTorch the
+    implementation is intentionally small: no hooks, no buffers-with-state
+    other than plain numpy arrays registered through :meth:`register_buffer`.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ----------------------------------------------------------- registration
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable array saved/restored with the state dict."""
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ----------------------------------------------------------- forward pass
+    def forward(self, *args: Any, **kwargs: Any) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------- traversal
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for mod_name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{mod_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ----------------------------------------------------------------- state
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[f"{prefix}{name}"] = param.data.copy()
+        for name, buf in self._buffers.items():
+            state[f"{prefix}{name}"] = buf.copy()
+        for mod_name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{mod_name}."))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        for name, param in self._parameters.items():
+            key = f"{prefix}{name}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+        for name in self._buffers:
+            key = f"{prefix}{name}"
+            if key in state:
+                self._buffers[name][...] = np.asarray(state[key], dtype=np.float64)
+        for mod_name, module in self._modules.items():
+            module.load_state_dict(state, prefix=f"{prefix}{mod_name}.")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        child_repr = ", ".join(f"{k}={v.__class__.__name__}" for k, v in self._modules.items())
+        return f"{self.__class__.__name__}({child_repr})"

@@ -1,0 +1,66 @@
+"""Saving and loading model weights.
+
+Checkpoints are stored as ``.npz`` archives (one array per state-dict entry)
+plus a small JSON sidecar describing architecture hyper-parameters, which is
+sufficient to resume or analyse a surrogate after an experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_state_dict", "load_state_dict"]
+
+_META_SUFFIX = ".meta.json"
+
+
+def save_state_dict(path: str | Path, state: Dict[str, np.ndarray]) -> Path:
+    """Write a state dict as an ``.npz`` archive and return the path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state)
+    return path
+
+
+def load_state_dict(path: str | Path) -> Dict[str, np.ndarray]:
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: Module,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Save model weights plus a JSON metadata sidecar."""
+    path = save_state_dict(path, model.state_dict())
+    meta = dict(metadata or {})
+    meta.setdefault("num_parameters", model.num_parameters())
+    meta_path = path.with_suffix(path.suffix + _META_SUFFIX)
+    meta_path.write_text(json.dumps(meta, indent=2, sort_keys=True))
+    return path
+
+
+def load_checkpoint(path: str | Path, model: Module) -> Tuple[Module, Dict[str, Any]]:
+    """Load weights into ``model`` in-place; returns (model, metadata)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    state = load_state_dict(path)
+    model.load_state_dict(state)
+    meta_path = path.with_suffix(path.suffix + _META_SUFFIX)
+    metadata: Dict[str, Any] = {}
+    if meta_path.exists():
+        metadata = json.loads(meta_path.read_text())
+    return model, metadata

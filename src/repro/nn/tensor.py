@@ -1,0 +1,506 @@
+"""A small reverse-mode automatic-differentiation engine on NumPy arrays.
+
+This module is the substitute for PyTorch's tensor/autograd machinery (the
+paper trains its surrogates with PyTorch).  Only the functionality required by
+dense multilayer perceptrons is implemented, but it is implemented carefully:
+
+* full broadcasting support in every binary operation (gradients are
+  "un-broadcast" by summing over the broadcast axes),
+* a topological-order backward pass over the recorded operation graph,
+* gradient accumulation into leaf tensors (``requires_grad=True``),
+* ``no_grad`` context to disable graph recording during inference/validation.
+
+The engine is validated against central finite differences in
+:mod:`repro.nn.grad_check` and by property-based tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence[float]]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were broadcast so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes where the original size was 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """N-dimensional array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array content (copied to ``float64`` unless already a float array).
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` when
+        :meth:`backward` is called on a downstream scalar.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # ensure ndarray.__op__(Tensor) defers to Tensor
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data, dtype=np.float64)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self._parents: Tuple[Tensor, ...] = _parents if _GRAD_ENABLED else ()
+        self._backward: Optional[Callable[[np.ndarray], None]] = _backward if _GRAD_ENABLED else None
+        self.name = name
+
+    # ------------------------------------------------------------------ info
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but severed from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # ------------------------------------------------------------- graph ops
+    def _needs_graph(self, *others: "Tensor") -> bool:
+        return _GRAD_ENABLED and (self.requires_grad or any(o.requires_grad for o in others))
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        if not (_GRAD_ENABLED and requires):
+            return Tensor(data, requires_grad=False)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode accumulation from this tensor.
+
+        ``grad`` defaults to 1.0 and must have the same shape as the tensor.
+        Gradients are accumulated into every reachable tensor that has
+        ``requires_grad=True``.
+        """
+        if grad is None:
+            if self.size != 1:
+                raise ValueError("backward() without an explicit gradient requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.shape}")
+
+        # Topological sort of the sub-graph reachable from self.
+        topo: List[Tensor] = []
+        visited: Set[int] = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor.
+                node._accumulate(node_grad)
+            if node._backward is not None:
+                # Intermediate op: _backward distributes into a per-call dict.
+                node._route_backward(node_grad, grads)
+
+    def _route_backward(self, grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
+        """Invoke the op's backward function, collecting parent gradients."""
+        assert self._backward is not None
+        contributions = self._backward(grad)
+        for parent, contribution in zip(self._parents, contributions):
+            if contribution is None:
+                continue
+            if not (parent.requires_grad or parent._backward is not None):
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + contribution
+            else:
+                grads[key] = contribution
+
+    # --------------------------------------------------------- binary ops
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad, self.data.shape),
+                _unbroadcast(grad, other_t.data.shape),
+            )
+
+        return self._make(self.data + other_t.data, (self, other_t), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad, self.data.shape),
+                _unbroadcast(-grad, other_t.data.shape),
+            )
+
+        return self._make(self.data - other_t.data, (self, other_t), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        a, b = self.data, other_t.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad * b, a.shape),
+                _unbroadcast(grad * a, b.shape),
+            )
+
+        return self._make(a * b, (self, other_t), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+        a, b = self.data, other_t.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad / b, a.shape),
+                _unbroadcast(-grad * a / (b * b), b.shape),
+            )
+
+        return self._make(a / b, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (-grad,)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+        a = self.data
+
+        def backward(grad: np.ndarray):
+            return (grad * exponent * np.power(a, exponent - 1),)
+
+        return self._make(np.power(a, exponent), (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product supporting (n,k)@(k,m), (k,)@(k,m) and (n,k)@(k,)."""
+        other_t = as_tensor(other)
+        a, b = self.data, other_t.data
+        out = a @ b
+
+        def backward(grad: np.ndarray):
+            a_local, b_local = a, b
+            grad_local = grad
+            # Promote vectors to matrices to make the adjoint formulas uniform.
+            a2 = a_local[None, :] if a_local.ndim == 1 else a_local
+            b2 = b_local[:, None] if b_local.ndim == 1 else b_local
+            if a_local.ndim == 1 and b_local.ndim == 1:
+                g2 = np.array([[grad_local]]) if np.ndim(grad_local) == 0 else grad_local.reshape(1, 1)
+            elif a_local.ndim == 1:
+                g2 = grad_local[None, :]
+            elif b_local.ndim == 1:
+                g2 = grad_local[:, None]
+            else:
+                g2 = grad_local
+            grad_a = g2 @ b2.T
+            grad_b = a2.T @ g2
+            if a_local.ndim == 1:
+                grad_a = grad_a.reshape(a_local.shape)
+            if b_local.ndim == 1:
+                grad_b = grad_b.reshape(b_local.shape)
+            return grad_a, grad_b
+
+        return self._make(out, (self, other_t), backward)
+
+    # ---------------------------------------------------------- unary ops
+    def relu(self) -> "Tensor":
+        mask = self.data > 0.0
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        out = np.exp(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * out,)
+
+        return self._make(out, (self,), backward)
+
+    def log(self) -> "Tensor":
+        a = self.data
+
+        def backward(grad: np.ndarray):
+            return (grad / a,)
+
+        return self._make(np.log(a), (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out = np.tanh(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * (1.0 - out * out),)
+
+        return self._make(out, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray):
+            return (grad * out * (1.0 - out),)
+
+        return self._make(out, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * sign,)
+
+        return self._make(np.abs(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * 0.5 / out,)
+
+        return self._make(out, (self,), backward)
+
+    # ------------------------------------------------------- shape ops
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(grad: np.ndarray):
+            return (grad.reshape(original),)
+
+        return self._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
+        def backward(grad: np.ndarray):
+            if axes is None:
+                return (grad.transpose(),)
+            inverse = np.argsort(axes)
+            return (grad.transpose(inverse),)
+
+        return self._make(self.data.transpose(axes), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        original_shape = self.data.shape
+
+        def backward(grad: np.ndarray):
+            full = np.zeros(original_shape, dtype=np.float64)
+            np.add.at(full, index, grad)
+            return (full,)
+
+        return self._make(self.data[index], (self,), backward)
+
+    # --------------------------------------------------------- reductions
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        original_shape = self.data.shape
+
+        def backward(grad: np.ndarray):
+            g = np.asarray(grad, dtype=np.float64)
+            if axis is None:
+                return (np.broadcast_to(g, original_shape).copy(),)
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            if not keepdims:
+                g = np.expand_dims(g, axis=tuple(a % len(original_shape) for a in axes))
+            return (np.broadcast_to(g, original_shape).copy(),)
+
+        return self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        original_shape = self.data.shape
+        if axis is None:
+            denom = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            denom = int(np.prod([original_shape[a] for a in axes]))
+
+        def backward(grad: np.ndarray):
+            g = np.asarray(grad, dtype=np.float64) / denom
+            if axis is None:
+                return (np.broadcast_to(g, original_shape).copy(),)
+            axes_local = axis if isinstance(axis, tuple) else (axis,)
+            if not keepdims:
+                g = np.expand_dims(g, axis=tuple(a % len(original_shape) for a in axes_local))
+            return (np.broadcast_to(g, original_shape).copy(),)
+
+        return self._make(self.data.mean(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out = self.data.max(axis=axis, keepdims=keepdims)
+        original = self.data
+
+        def backward(grad: np.ndarray):
+            if axis is None:
+                mask = (original == original.max()).astype(np.float64)
+                mask /= mask.sum()
+                return (mask * grad,)
+            expanded = out if keepdims else np.expand_dims(out, axis)
+            mask = (original == expanded).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            return (mask * g,)
+
+        return self._make(out, (self,), backward)
+
+    # --------------------------------------------------------- comparisons
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __eq__(self, other: object) -> bool:  # type: ignore[override]
+        if isinstance(other, Tensor):
+            return bool(np.array_equal(self.data, other.data))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Coerce a value to :class:`Tensor` without copying existing tensors."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis, differentiable w.r.t. every input."""
+    tensor_list = list(tensors)
+    arrays = [t.data for t in tensor_list]
+    out = np.stack(arrays, axis=axis)
+
+    def backward(grad: np.ndarray):
+        pieces = np.split(grad, len(tensor_list), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    proto = tensor_list[0]
+    return proto._make(out, tuple(tensor_list), backward)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis."""
+    tensor_list = list(tensors)
+    arrays = [t.data for t in tensor_list]
+    out = np.concatenate(arrays, axis=axis)
+    sizes = [a.shape[axis] for a in arrays]
+    boundaries = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray):
+        return tuple(np.split(grad, boundaries, axis=axis))
+
+    proto = tensor_list[0]
+    return proto._make(out, tuple(tensor_list), backward)

@@ -1,0 +1,114 @@
+"""Axis-aligned box describing the solver input-parameter space ``Λ``.
+
+For the 2D heat PDE case of the paper the space is
+``Λ = [100, 500]^5`` (initial temperature ``T0`` and the four boundary
+temperatures ``T1..T4``, in Kelvin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ParameterBounds", "HEAT2D_BOUNDS"]
+
+
+@dataclass(frozen=True)
+class ParameterBounds:
+    """Hyper-rectangle ``[low_k, high_k]`` for each parameter dimension.
+
+    Parameters
+    ----------
+    low, high:
+        Per-dimension lower/upper bounds.  Must have the same length with
+        ``low < high`` element-wise.
+    names:
+        Optional human-readable parameter names (used in reports).
+    """
+
+    low: Tuple[float, ...]
+    high: Tuple[float, ...]
+    names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        low = tuple(float(v) for v in self.low)
+        high = tuple(float(v) for v in self.high)
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+        if len(low) != len(high):
+            raise ValueError("low and high must have the same length")
+        if len(low) == 0:
+            raise ValueError("bounds must have at least one dimension")
+        for lo, hi in zip(low, high):
+            if not lo < hi:
+                raise ValueError(f"invalid bounds: requires low < high, got [{lo}, {hi}]")
+        if self.names and len(self.names) != len(low):
+            raise ValueError("names must match the number of dimensions")
+
+    # ----------------------------------------------------------- properties
+    @property
+    def dim(self) -> int:
+        return len(self.low)
+
+    @property
+    def low_array(self) -> np.ndarray:
+        return np.asarray(self.low, dtype=np.float64)
+
+    @property
+    def high_array(self) -> np.ndarray:
+        return np.asarray(self.high, dtype=np.float64)
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.high_array - self.low_array
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(self.widths))
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.low_array + self.high_array)
+
+    # ----------------------------------------------------------- operations
+    def contains(self, point: Sequence[float], atol: float = 0.0) -> bool:
+        """Whether ``point`` lies inside the box (inclusive, within ``atol``)."""
+        p = np.asarray(point, dtype=np.float64)
+        if p.shape != (self.dim,):
+            raise ValueError(f"point must have shape ({self.dim},), got {p.shape}")
+        return bool(np.all(p >= self.low_array - atol) and np.all(p <= self.high_array + atol))
+
+    def contains_all(self, points: np.ndarray, atol: float = 0.0) -> bool:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return bool(
+            np.all(pts >= self.low_array[None, :] - atol)
+            and np.all(pts <= self.high_array[None, :] + atol)
+        )
+
+    def clip(self, points: np.ndarray) -> np.ndarray:
+        """Project points onto the box, component-wise."""
+        pts = np.asarray(points, dtype=np.float64)
+        return np.clip(pts, self.low_array, self.high_array)
+
+    def scale_to_unit(self, points: np.ndarray) -> np.ndarray:
+        """Map points from the box to the unit hyper-cube ``[0, 1]^d``."""
+        pts = np.asarray(points, dtype=np.float64)
+        return (pts - self.low_array) / self.widths
+
+    def scale_from_unit(self, unit_points: np.ndarray) -> np.ndarray:
+        """Map unit-cube points into the box."""
+        pts = np.asarray(unit_points, dtype=np.float64)
+        return self.low_array + pts * self.widths
+
+    def with_names(self, names: Sequence[str]) -> "ParameterBounds":
+        return ParameterBounds(self.low, self.high, tuple(names))
+
+
+#: Input-parameter space of the paper's 2D heat PDE study (Appendix B.1).
+HEAT2D_BOUNDS = ParameterBounds(
+    low=(100.0,) * 5,
+    high=(500.0,) * 5,
+    names=("T0", "T1", "T2", "T3", "T4"),
+)

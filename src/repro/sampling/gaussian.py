@@ -1,0 +1,145 @@
+"""Multivariate-normal sampling and densities.
+
+The Breed proposal mixture uses isotropic Gaussians
+``Gauss(· | λ_jk, σ² I)`` around resampled parameter locations (Eq. 11).  The
+paper uses PyTorch's ``MultivariateNormal``; here the equivalent is written on
+top of NumPy, with both the general full-covariance case (Cholesky) and a fast
+isotropic special case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["MultivariateNormal", "IsotropicGaussian", "GaussianMixture"]
+
+
+@dataclass
+class MultivariateNormal:
+    """Multivariate normal with full covariance.
+
+    Parameters
+    ----------
+    mean:
+        Location vector (d,).
+    covariance:
+        Symmetric positive-definite covariance matrix (d, d).
+    """
+
+    mean: np.ndarray
+    covariance: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.mean = np.asarray(self.mean, dtype=np.float64).reshape(-1)
+        self.covariance = np.asarray(self.covariance, dtype=np.float64)
+        d = self.mean.shape[0]
+        if self.covariance.shape != (d, d):
+            raise ValueError(f"covariance must be ({d}, {d}), got {self.covariance.shape}")
+        try:
+            self._chol = np.linalg.cholesky(self.covariance)
+        except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+            raise ValueError("covariance matrix must be positive definite") from exc
+        self._log_det = 2.0 * float(np.sum(np.log(np.diag(self._chol))))
+
+    @property
+    def dim(self) -> int:
+        return self.mean.shape[0]
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        z = rng.standard_normal((size, self.dim))
+        return self.mean[None, :] + z @ self._chol.T
+
+    def log_pdf(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        diff = pts - self.mean[None, :]
+        solved = np.linalg.solve(self._chol, diff.T)
+        mahalanobis = np.sum(solved * solved, axis=0)
+        return -0.5 * (self.dim * math.log(2.0 * math.pi) + self._log_det + mahalanobis)
+
+    def pdf(self, points: np.ndarray) -> np.ndarray:
+        return np.exp(self.log_pdf(points))
+
+
+@dataclass
+class IsotropicGaussian:
+    """Isotropic Gaussian ``N(mean, sigma^2 I)`` — the Breed proposal member."""
+
+    mean: np.ndarray
+    sigma: float
+
+    def __post_init__(self) -> None:
+        self.mean = np.asarray(self.mean, dtype=np.float64).reshape(-1)
+        if self.sigma <= 0.0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+
+    @property
+    def dim(self) -> int:
+        return self.mean.shape[0]
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        return self.mean[None, :] + self.sigma * rng.standard_normal((size, self.dim))
+
+    def sample_one(self, rng: np.random.Generator) -> np.ndarray:
+        return self.mean + self.sigma * rng.standard_normal(self.dim)
+
+    def log_pdf(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        diff = pts - self.mean[None, :]
+        sq = np.sum(diff * diff, axis=1) / (self.sigma**2)
+        return -0.5 * (self.dim * math.log(2.0 * math.pi * self.sigma**2) + sq)
+
+    def pdf(self, points: np.ndarray) -> np.ndarray:
+        return np.exp(self.log_pdf(points))
+
+    def with_sigma(self, sigma: float) -> "IsotropicGaussian":
+        return IsotropicGaussian(self.mean.copy(), sigma)
+
+
+class GaussianMixture:
+    """Equal-weight mixture of isotropic Gaussians (the AMIS proposal ``q^(s)``)."""
+
+    def __init__(self, components: Sequence[IsotropicGaussian], weights: Optional[Sequence[float]] = None):
+        if not components:
+            raise ValueError("mixture requires at least one component")
+        self.components = list(components)
+        dims = {c.dim for c in self.components}
+        if len(dims) != 1:
+            raise ValueError("all mixture components must share the same dimensionality")
+        n = len(self.components)
+        if weights is None:
+            self.weights = np.full(n, 1.0 / n)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (n,):
+                raise ValueError("weights must match the number of components")
+            if np.any(w < 0) or w.sum() <= 0:
+                raise ValueError("weights must be non-negative and sum to a positive value")
+            self.weights = w / w.sum()
+
+    @property
+    def dim(self) -> int:
+        return self.components[0].dim
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        choices = rng.choice(len(self.components), size=size, p=self.weights)
+        out = np.empty((size, self.dim), dtype=np.float64)
+        for i, k in enumerate(choices):
+            out[i] = self.components[k].sample_one(rng)
+        return out
+
+    def pdf(self, points: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        total = np.zeros(pts.shape[0], dtype=np.float64)
+        for weight, component in zip(self.weights, self.components):
+            total += weight * component.pdf(pts)
+        return total
+
+    def log_pdf(self, points: np.ndarray) -> np.ndarray:
+        return np.log(np.maximum(self.pdf(points), 1e-300))

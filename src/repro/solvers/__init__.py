@@ -1,0 +1,30 @@
+"""Finite-difference PDE solvers (the "oracle" labelling the training data)."""
+
+from repro.solvers.analytic import laplace_edge_series, steady_state_2d, transient_1d
+from repro.solvers.base import Solver
+from repro.solvers.grid import Grid1D, Grid2D
+from repro.solvers.heat1d import Heat1DConfig, Heat1DImplicitSolver
+from repro.solvers.heat2d import (
+    Heat2DConfig,
+    Heat2DExplicitSolver,
+    Heat2DImplicitSolver,
+    apply_dirichlet_boundaries,
+)
+from repro.solvers.trajectory import TimeStepSample, Trajectory
+
+__all__ = [
+    "laplace_edge_series",
+    "steady_state_2d",
+    "transient_1d",
+    "Solver",
+    "Grid1D",
+    "Grid2D",
+    "Heat1DConfig",
+    "Heat1DImplicitSolver",
+    "Heat2DConfig",
+    "Heat2DExplicitSolver",
+    "Heat2DImplicitSolver",
+    "apply_dirichlet_boundaries",
+    "TimeStepSample",
+    "Trajectory",
+]

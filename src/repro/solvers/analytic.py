@@ -1,0 +1,109 @@
+"""Analytic reference solutions used to validate the finite-difference solvers.
+
+Two references are provided:
+
+* the steady-state solution of the 2-D problem (a Laplace equation with
+  piecewise-constant Dirichlet data) via a truncated separation-of-variables
+  series, and
+* the transient solution of the 1-D problem with constant Dirichlet boundary
+  conditions via a Fourier sine series.
+
+Both converge quickly with a modest number of modes and are used in the solver
+test-suite to bound the discretisation error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["laplace_edge_series", "steady_state_2d", "transient_1d"]
+
+
+def laplace_edge_series(
+    x1: np.ndarray,
+    x2: np.ndarray,
+    value: float,
+    length: float = 1.0,
+    n_modes: int = 101,
+) -> np.ndarray:
+    """Laplace solution on the square with one hot edge.
+
+    Solves ``∇²u = 0`` with ``u = value`` on the edge ``x1 = 0`` and ``u = 0``
+    on the three other edges, via the classic series::
+
+        u(x1, x2) = Σ_{n odd} (4 value / (n π)) ·
+                    sinh(n π (L - x1)/L) / sinh(n π) · sin(n π x2 / L)
+
+    ``x1`` and ``x2`` are meshgrid arrays of the same shape.
+    """
+    x1 = np.asarray(x1, dtype=np.float64)
+    x2 = np.asarray(x2, dtype=np.float64)
+    u = np.zeros_like(x1, dtype=np.float64)
+    for n in range(1, n_modes + 1, 2):
+        k = n * np.pi / length
+        # sinh(a)/sinh(b) with 0 <= a <= b computed overflow-free as
+        # exp(a - b) * (1 - exp(-2a)) / (1 - exp(-2b)).
+        a = k * (length - x1)
+        b = k * length
+        ratio = np.exp(a - b) * (1.0 - np.exp(-2.0 * a)) / (1.0 - np.exp(-2.0 * b))
+        u += (4.0 * value / (n * np.pi)) * ratio * np.sin(k * x2)
+    return u
+
+
+def steady_state_2d(
+    grid_coordinates: tuple[np.ndarray, np.ndarray],
+    t1: float,
+    t2: float,
+    t3: float,
+    t4: float,
+    length: float = 1.0,
+    n_modes: int = 101,
+) -> np.ndarray:
+    """Steady-state temperature field for the paper's 2-D heat problem.
+
+    The stationary limit of Eq. (13) is a Laplace problem whose solution is the
+    superposition of four single-hot-edge solutions: ``T1`` at ``x1 = 0``,
+    ``T2`` at ``x1 = L``, ``T3`` at ``x2 = 0`` and ``T4`` at ``x2 = L``.
+    """
+    x1, x2 = grid_coordinates
+    u = np.zeros_like(np.asarray(x1, dtype=np.float64))
+    # Edge x1 = 0 at T1.
+    u += laplace_edge_series(x1, x2, t1, length=length, n_modes=n_modes)
+    # Edge x1 = L at T2: mirror x1.
+    u += laplace_edge_series(length - x1, x2, t2, length=length, n_modes=n_modes)
+    # Edge x2 = 0 at T3: swap roles of x1/x2.
+    u += laplace_edge_series(x2, x1, t3, length=length, n_modes=n_modes)
+    # Edge x2 = L at T4: swap and mirror.
+    u += laplace_edge_series(length - x2, x1, t4, length=length, n_modes=n_modes)
+    return u
+
+
+def transient_1d(
+    x: np.ndarray,
+    t: float,
+    t0: float,
+    t_left: float,
+    t_right: float,
+    alpha: float = 1.0,
+    length: float = 1.0,
+    n_modes: int = 400,
+) -> np.ndarray:
+    """Exact transient solution of the 1-D heat problem with constant Dirichlet data.
+
+    Decomposes ``u = u_ss + v`` where ``u_ss(x)`` is the linear steady state and
+    ``v`` solves the homogeneous-boundary problem with initial data
+    ``T0 - u_ss(x)``.  The Fourier sine coefficients of that initial data are::
+
+        b_n = (2 / (n π)) [ (T0 - T_left) (1 - (-1)^n) + (T_right - T_left) (-1)^n ]
+
+    and ``v(x, t) = Σ b_n sin(n π x / L) exp(-α (n π / L)² t)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    u_ss = t_left + (t_right - t_left) * x / length
+    u = u_ss.copy()
+    for n in range(1, n_modes + 1):
+        k = n * np.pi / length
+        sign = -1.0 if n % 2 else 1.0
+        coeff = (2.0 / (n * np.pi)) * ((t0 - t_left) * (1.0 - sign) + (t_right - t_left) * sign)
+        u += coeff * np.sin(k * x) * np.exp(-alpha * k * k * t)
+    return u

@@ -1,0 +1,60 @@
+"""Solver protocol shared by every PDE solver in the repository.
+
+Solvers are *autoregressive*: :meth:`Solver.solve` yields successive solution
+fields.  The Melissa client wraps this iterator and streams each field to the
+server as soon as it is produced, which is the behaviour the on-line training
+framework (and hence Breed) depends on.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.solvers.trajectory import Trajectory
+
+__all__ = ["Solver"]
+
+
+class Solver(abc.ABC):
+    """Abstract autoregressive PDE solver."""
+
+    #: number of time steps produced per trajectory (excluding the initial state)
+    n_timesteps: int
+
+    @property
+    @abc.abstractmethod
+    def field_size(self) -> int:
+        """Length of the flattened solution field (surrogate output size)."""
+
+    @property
+    @abc.abstractmethod
+    def parameter_dim(self) -> int:
+        """Dimensionality of the input-parameter vector ``λ``."""
+
+    @abc.abstractmethod
+    def steps(self, parameters: Sequence[float]) -> Iterator[np.ndarray]:
+        """Yield flattened solution fields for ``t = 0, 1, …, n_timesteps``.
+
+        The first yielded field is the initial condition (``t = 0``).
+        """
+
+    def solve(self, parameters: Sequence[float], simulation_id: int = 0) -> Trajectory:
+        """Run the full trajectory and return it as a :class:`Trajectory`."""
+        trajectory = Trajectory(simulation_id=simulation_id, parameters=np.asarray(parameters))
+        for timestep, field in enumerate(self.steps(parameters)):
+            trajectory.append(timestep, field)
+        return trajectory
+
+    def validate_parameters(self, parameters: Sequence[float]) -> np.ndarray:
+        """Check the parameter-vector shape and return it as an array."""
+        params = np.asarray(parameters, dtype=np.float64).reshape(-1)
+        if params.shape[0] != self.parameter_dim:
+            raise ValueError(
+                f"expected {self.parameter_dim} parameters, got {params.shape[0]}"
+            )
+        if not np.all(np.isfinite(params)):
+            raise ValueError("parameters must be finite")
+        return params

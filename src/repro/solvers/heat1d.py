@@ -1,0 +1,106 @@
+"""1-D heat-equation solver.
+
+Not part of the paper's evaluation (which uses the 2-D case), but included as
+a second, cheaper PDE for the extension examples and for cross-checking the
+numerical schemes against the closed-form separation-of-variables solution in
+:mod:`repro.solvers.analytic`.
+
+Problem definition::
+
+    du/dt = alpha * d²u/dx²          on [0, L]
+    u(0, t) = T_left,  u(L, t) = T_right
+    u(x, 0) = T0
+
+Parameter vector: ``λ = [T0, T_left, T_right]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sparse
+import scipy.sparse.linalg as sparse_linalg
+
+from repro.solvers.base import Solver
+from repro.solvers.grid import Grid1D
+
+__all__ = ["Heat1DConfig", "Heat1DImplicitSolver"]
+
+
+@dataclass(frozen=True)
+class Heat1DConfig:
+    """Discretisation configuration of the 1-D heat problem."""
+
+    n_points: int = 64
+    n_timesteps: int = 100
+    dt: float = 0.01
+    alpha: float = 1.0
+    length: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_points < 3:
+            raise ValueError("n_points must be >= 3")
+        if self.n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        if self.dt <= 0 or self.alpha <= 0 or self.length <= 0:
+            raise ValueError("dt, alpha and length must be positive")
+
+    @property
+    def grid(self) -> Grid1D:
+        return Grid1D(n_points=self.n_points, length=self.length)
+
+
+class Heat1DImplicitSolver(Solver):
+    """Backward-Euler finite-difference solver for the 1-D heat equation."""
+
+    def __init__(self, config: Heat1DConfig | None = None) -> None:
+        self.config = config if config is not None else Heat1DConfig()
+        self.grid = self.config.grid
+        self.n_timesteps = self.config.n_timesteps
+        m = self.config.n_points - 2
+        dx2 = self.grid.dx**2
+        laplacian = sparse.diags(
+            [np.ones(m - 1), -2.0 * np.ones(m), np.ones(m - 1)], offsets=[-1, 0, 1], format="csc"
+        ) / dx2
+        system = sparse.identity(m, format="csc") - self.config.dt * self.config.alpha * laplacian
+        self._lu = sparse_linalg.splu(system)
+        self._dx2 = dx2
+
+    @property
+    def field_size(self) -> int:
+        return self.config.n_points
+
+    @property
+    def parameter_dim(self) -> int:
+        return 3
+
+    def initial_field(self, parameters: Sequence[float]) -> np.ndarray:
+        t0, t_left, t_right = self.validate_parameters(parameters)
+        field = np.full(self.config.n_points, t0, dtype=np.float64)
+        field[0] = t_left
+        field[-1] = t_right
+        return field
+
+    def steps(self, parameters: Sequence[float]) -> Iterator[np.ndarray]:
+        params = self.validate_parameters(parameters)
+        _, t_left, t_right = params
+        field = self.initial_field(params)
+        yield field.copy()
+        dt_alpha = self.config.dt * self.config.alpha
+        boundary_term = np.zeros(self.config.n_points - 2)
+        boundary_term[0] = dt_alpha * t_left / self._dx2
+        boundary_term[-1] = dt_alpha * t_right / self._dx2
+        interior = field[1:-1].copy()
+        for _ in range(self.n_timesteps):
+            rhs = interior + boundary_term
+            interior = self._lu.solve(rhs)
+            field[1:-1] = interior
+            yield field.copy()
+
+    def steady_state(self, parameters: Sequence[float]) -> np.ndarray:
+        """Exact stationary solution: linear profile between the two boundaries."""
+        _, t_left, t_right = self.validate_parameters(parameters)
+        x = self.grid.coordinates / self.config.length
+        return t_left + (t_right - t_left) * x

@@ -1,0 +1,131 @@
+"""The multi-parametric direct surrogate model.
+
+Architecture (Section 4 / Appendix B.1 of the paper): a multilayer perceptron
+with an input layer of 6 neurons (``[T0, T1, T2, T3, T4, t]``), ``L`` hidden
+layers of ``H`` neurons with ReLU activations, and an output layer of ``M²``
+neurons producing the flattened temperature field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.surrogate.normalization import SurrogateScalers
+
+__all__ = ["SurrogateConfig", "DirectSurrogate", "build_mlp"]
+
+
+@dataclass(frozen=True)
+class SurrogateConfig:
+    """Hyper-parameters of the surrogate MLP.
+
+    Attributes
+    ----------
+    input_dim:
+        NN input size; 6 for the heat case (5 parameters + time step).
+    output_dim:
+        NN output size; ``M²`` for the heat case.
+    hidden_size:
+        ``H`` — width of every hidden layer.
+    n_hidden_layers:
+        ``L`` — number of hidden layers.
+    activation:
+        Hidden activation, ``"relu"`` (paper default) or ``"tanh"``.
+    """
+
+    input_dim: int = 6
+    output_dim: int = 64 * 64
+    hidden_size: int = 16
+    n_hidden_layers: int = 1
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        if self.input_dim <= 0 or self.output_dim <= 0:
+            raise ValueError("input_dim and output_dim must be positive")
+        if self.hidden_size <= 0:
+            raise ValueError("hidden_size must be positive")
+        if self.n_hidden_layers < 1:
+            raise ValueError("n_hidden_layers must be >= 1")
+        if self.activation not in ("relu", "tanh", "leaky_relu"):
+            raise ValueError(f"unsupported activation {self.activation!r}")
+
+    @property
+    def label(self) -> str:
+        """Short label used in figure legends, e.g. ``H=16, L=2``."""
+        return f"H={self.hidden_size}, L={self.n_hidden_layers}"
+
+
+def _activation_module(name: str) -> nn.Module:
+    if name == "relu":
+        return nn.ReLU()
+    if name == "tanh":
+        return nn.Tanh()
+    if name == "leaky_relu":
+        return nn.LeakyReLU()
+    raise ValueError(f"unsupported activation {name!r}")
+
+
+def build_mlp(config: SurrogateConfig, rng: Optional[np.random.Generator] = None) -> nn.Sequential:
+    """Construct the MLP described by ``config``."""
+    rng = rng if rng is not None else np.random.default_rng()
+    layers: list[nn.Module] = [nn.Linear(config.input_dim, config.hidden_size, rng=rng)]
+    layers.append(_activation_module(config.activation))
+    for _ in range(config.n_hidden_layers - 1):
+        layers.append(nn.Linear(config.hidden_size, config.hidden_size, rng=rng))
+        layers.append(_activation_module(config.activation))
+    layers.append(nn.Linear(config.hidden_size, config.output_dim, rng=rng))
+    return nn.Sequential(*layers)
+
+
+class DirectSurrogate(nn.Module):
+    """Multi-parametric direct surrogate ``u_θ(λ, t) = û_λ(·, t)``.
+
+    The model owns its normalisation scalers so callers interact with physical
+    units: :meth:`predict_field` accepts raw Kelvin parameters and a time-step
+    index and returns a denormalised field.
+    """
+
+    def __init__(
+        self,
+        config: SurrogateConfig,
+        scalers: SurrogateScalers,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.scalers = scalers
+        self.mlp = build_mlp(config, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass on already-normalised inputs (shape ``(batch, input_dim)``)."""
+        return self.mlp(x)
+
+    # ------------------------------------------------------------ inference
+    def predict_field(self, parameters: Sequence[float], timestep: int) -> np.ndarray:
+        """Predict the physical (denormalised) field for one ``(λ, t)`` pair."""
+        encoded = self.scalers.encode_input(np.asarray(parameters, dtype=np.float64), timestep)
+        with nn.no_grad():
+            prediction = self.forward(Tensor(encoded[None, :]))
+        return self.scalers.decode_output(prediction.data[0])
+
+    def predict_trajectory(self, parameters: Sequence[float], timesteps: Sequence[int]) -> np.ndarray:
+        """Predict several time steps of one trajectory, shape ``(T, output_dim)``."""
+        params = np.asarray(parameters, dtype=np.float64)
+        batch = self.scalers.encode_input(
+            np.repeat(params[None, :], len(timesteps), axis=0), np.asarray(timesteps, dtype=np.float64)
+        )
+        with nn.no_grad():
+            prediction = self.forward(Tensor(batch))
+        return self.scalers.decode_output(prediction.data)
+
+    # --------------------------------------------------------------- info
+    def num_parameters(self) -> int:
+        return self.mlp.num_parameters()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DirectSurrogate({self.config.label}, params={self.num_parameters()})"

@@ -1,0 +1,91 @@
+"""Fixed validation set and validation-loss evaluation.
+
+Section 4 of the paper: "the pre-created fixed validation set has 200
+full-trajectory simulations with parameters generated from a quasi-uniform
+Halton sequence".  The validation loss reported on the figures is the MSE of
+the surrogate over every ``(λ, t)`` pair of that set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+from repro.sampling.bounds import ParameterBounds
+from repro.sampling.halton import halton_in_bounds
+from repro.solvers.base import Solver
+from repro.surrogate.model import DirectSurrogate
+from repro.surrogate.normalization import SurrogateScalers
+
+__all__ = ["ValidationSet", "build_validation_set", "validation_loss"]
+
+
+@dataclass
+class ValidationSet:
+    """Pre-computed normalised validation inputs/targets."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    parameters: np.ndarray
+    n_trajectories: int
+    n_timesteps: int
+
+    def __post_init__(self) -> None:
+        self.inputs = np.asarray(self.inputs, dtype=np.float64)
+        self.targets = np.asarray(self.targets, dtype=np.float64)
+        self.parameters = np.asarray(self.parameters, dtype=np.float64)
+        if self.inputs.shape[0] != self.targets.shape[0]:
+            raise ValueError("inputs and targets must align")
+
+    def __len__(self) -> int:
+        return self.inputs.shape[0]
+
+
+def build_validation_set(
+    solver: Solver,
+    bounds: ParameterBounds,
+    scalers: SurrogateScalers,
+    n_trajectories: int,
+    skip: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    scramble: bool = False,
+) -> ValidationSet:
+    """Generate the fixed Halton-sequence validation set by running the solver."""
+    if n_trajectories <= 0:
+        raise ValueError("n_trajectories must be positive")
+    vectors = halton_in_bounds(n_trajectories, bounds, skip=skip, rng=rng, scramble=scramble)
+    inputs = []
+    targets = []
+    for params in vectors:
+        for timestep, field in enumerate(solver.steps(params)):
+            inputs.append(scalers.encode_input(params, timestep))
+            targets.append(scalers.encode_output(field))
+    return ValidationSet(
+        inputs=np.stack(inputs, axis=0),
+        targets=np.stack(targets, axis=0),
+        parameters=vectors,
+        n_trajectories=n_trajectories,
+        n_timesteps=solver.n_timesteps,
+    )
+
+
+def validation_loss(
+    model: DirectSurrogate,
+    validation_set: ValidationSet,
+    batch_size: int = 1024,
+) -> float:
+    """MSE of the surrogate over the whole validation set (normalised units)."""
+    total = 0.0
+    count = 0
+    with nn.no_grad():
+        for start in range(0, len(validation_set), batch_size):
+            stop = min(start + batch_size, len(validation_set))
+            prediction = model(Tensor(validation_set.inputs[start:stop]))
+            diff = prediction.data - validation_set.targets[start:stop]
+            total += float(np.sum(diff * diff))
+            count += diff.size
+    return total / count if count else float("nan")

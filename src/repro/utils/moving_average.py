@@ -1,0 +1,119 @@
+"""Smoothing utilities used when rendering training curves.
+
+The paper's Figure 3 smooths training-loss curves with a moving window of 40
+iterations "for visibility".  We provide both a simple trailing moving average
+(matching the paper's presentation) and an exponential moving average used by
+the on-line monitors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["moving_average", "exponential_moving_average", "OnlineMean", "OnlineMeanVar"]
+
+
+def moving_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Trailing moving average with a growing window at the start.
+
+    The first ``window - 1`` entries average over the values seen so far
+    (window grows from 1 to ``window``), so the output has the same length as
+    the input and no NaN padding.
+
+    Parameters
+    ----------
+    values:
+        Input series.
+    window:
+        Window length in samples; must be >= 1.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError("moving_average expects a 1-D series")
+    if arr.size == 0:
+        return arr.copy()
+    cumsum = np.cumsum(arr)
+    out = np.empty_like(arr)
+    n = arr.size
+    w = min(window, n)
+    # Growing-window head.
+    head = min(w, n)
+    out[:head] = cumsum[:head] / np.arange(1, head + 1)
+    # Full-window body.
+    if n > w:
+        out[w:] = (cumsum[w:] - cumsum[:-w]) / w
+    return out
+
+
+def exponential_moving_average(values: Sequence[float], alpha: float) -> np.ndarray:
+    """Standard EMA: ``y[t] = alpha * x[t] + (1 - alpha) * y[t-1]``."""
+    if not (0.0 < alpha <= 1.0):
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    arr = np.asarray(values, dtype=np.float64)
+    out = np.empty_like(arr)
+    acc = 0.0
+    for i, x in enumerate(arr):
+        acc = x if i == 0 else alpha * x + (1.0 - alpha) * acc
+        out[i] = acc
+    return out
+
+
+class OnlineMean:
+    """Numerically stable streaming mean."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        self.mean += (float(value) - self.mean) / self.count
+
+    def update_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.update(v)
+
+    def __float__(self) -> float:
+        return self.mean
+
+
+class OnlineMeanVar:
+    """Welford streaming mean/variance, used for batch-loss statistics."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = float(value) - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (float(value) - self.mean)
+
+    def update_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.update(v)
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the values seen so far (0 for < 2 samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    def as_tuple(self) -> tuple[float, float, int]:
+        return self.mean, self.std, self.count
+
+
+def as_list(values: Iterable[float]) -> List[float]:
+    """Materialise an iterable of floats (helper for analysis code)."""
+    return [float(v) for v in values]

@@ -1,0 +1,83 @@
+"""Lightweight wall-clock timing helpers for the framework and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+__all__ = ["Timer", "TimerRegistry", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating timer: sums the duration of successive start/stop spans."""
+
+    name: str = "timer"
+    total: float = 0.0
+    count: int = 0
+    _start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError(f"Timer {self.name!r} already started")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError(f"Timer {self.name!r} not started")
+        elapsed = time.perf_counter() - self._start
+        self._start = None
+        self.total += elapsed
+        self.count += 1
+        return elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @contextmanager
+    def span(self) -> Iterator["Timer"]:
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+@dataclass
+class TimerRegistry:
+    """Named collection of :class:`Timer` objects (per-phase instrumentation)."""
+
+    timers: Dict[str, Timer] = field(default_factory=dict)
+
+    def get(self, name: str) -> Timer:
+        if name not in self.timers:
+            self.timers[name] = Timer(name=name)
+        return self.timers[name]
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Timer]:
+        timer = self.get(name)
+        with timer.span():
+            yield timer
+
+    def summary(self) -> List[str]:
+        lines = []
+        for name in sorted(self.timers):
+            t = self.timers[name]
+            lines.append(f"{name:<30s} total={t.total:10.4f}s count={t.count:6d} mean={t.mean:10.6f}s")
+        return lines
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager returning a one-shot timer: ``with timed() as t: ...``."""
+    t = Timer()
+    t.start()
+    try:
+        yield t
+    finally:
+        if t._start is not None:
+            t.stop()

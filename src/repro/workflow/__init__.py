@@ -1,0 +1,14 @@
+"""Experiment orchestration: configuration grids, study runner, result records."""
+
+from repro.workflow.grid import ParameterGrid, one_factor_at_a_time
+from repro.workflow.results import RunResult, StudyResults
+from repro.workflow.study import StudyRunner, apply_overrides
+
+__all__ = [
+    "ParameterGrid",
+    "one_factor_at_a_time",
+    "RunResult",
+    "StudyResults",
+    "StudyRunner",
+    "apply_overrides",
+]

@@ -1,0 +1,149 @@
+"""Study runner: executes a list of configurations and collects results.
+
+This is the in-Python substitute for the paper's Snakemake workflow
+("the workflow creates configuration files for Melissa runs across [the]
+chosen grid", Appendix B.2).  Solvers and validation sets are shared across
+all runs of a study — as they are in the paper, where the validation set is
+fixed — which also avoids re-factorising the implicit solver per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.breed.samplers import BreedConfig
+from repro.melissa.run import OnlineTrainingConfig, OnlineTrainingResult, run_online_training
+from repro.solvers.base import Solver
+from repro.solvers.heat2d import Heat2DImplicitSolver
+from repro.surrogate.normalization import SurrogateScalers
+from repro.surrogate.validation import ValidationSet, build_validation_set
+from repro.utils.logging import get_logger
+from repro.utils.timer import Timer
+from repro.workflow.results import RunResult, StudyResults
+
+__all__ = ["StudyRunner", "apply_overrides"]
+
+_LOGGER = get_logger("workflow")
+
+#: configuration keys that live on the nested BreedConfig rather than the run config
+_BREED_KEYS = {"sigma", "period", "window", "r_start", "r_end", "r_breakpoint"}
+
+
+def apply_overrides(base: OnlineTrainingConfig, overrides: Dict[str, Any]) -> OnlineTrainingConfig:
+    """Build a run configuration from a base config plus a flat override dict.
+
+    Keys matching Breed hyper-parameters (``sigma``, ``period``, ``window``,
+    ``r_start``, ``r_end``, ``r_breakpoint``) are applied to the nested
+    :class:`BreedConfig`; keys starting with ``_`` are study metadata and are
+    ignored; everything else must be a field of
+    :class:`~repro.melissa.run.OnlineTrainingConfig`.
+    """
+    run_kwargs: Dict[str, Any] = {}
+    breed_kwargs: Dict[str, Any] = {}
+    for key, value in overrides.items():
+        if key.startswith("_"):
+            continue
+        if key in _BREED_KEYS:
+            breed_kwargs[key] = value
+        else:
+            if key not in OnlineTrainingConfig.__dataclass_fields__:
+                raise KeyError(f"unknown configuration key {key!r}")
+            run_kwargs[key] = value
+    breed = base.breed
+    if breed_kwargs:
+        breed = BreedConfig(
+            sigma=breed_kwargs.get("sigma", breed.sigma),
+            period=breed_kwargs.get("period", breed.period),
+            window=breed_kwargs.get("window", breed.window),
+            r_start=breed_kwargs.get("r_start", breed.r_start),
+            r_end=breed_kwargs.get("r_end", breed.r_end),
+            r_breakpoint=breed_kwargs.get("r_breakpoint", breed.r_breakpoint),
+            sigma_decrement=breed.sigma_decrement,
+            max_retries=breed.max_retries,
+        )
+    return replace(base, breed=breed, **run_kwargs)
+
+
+@dataclass
+class StudyRunner:
+    """Execute a set of run configurations derived from one base configuration."""
+
+    base_config: OnlineTrainingConfig
+    study_name: str = "study"
+    #: optional callback invoked after each run, e.g. for progress reporting
+    on_result: Optional[Callable[[RunResult], None]] = None
+    _solver: Optional[Solver] = field(default=None, repr=False)
+    _validation: Optional[ValidationSet] = field(default=None, repr=False)
+
+    # -------------------------------------------------------------- sharing
+    def shared_solver(self) -> Solver:
+        if self._solver is None:
+            self._solver = Heat2DImplicitSolver(self.base_config.heat)
+        return self._solver
+
+    def shared_validation_set(self) -> Optional[ValidationSet]:
+        if self.base_config.n_validation_trajectories <= 0:
+            return None
+        if self._validation is None:
+            scalers = SurrogateScalers.for_heat2d(
+                self.base_config.bounds, self.base_config.heat.n_timesteps
+            )
+            self._validation = build_validation_set(
+                solver=self.shared_solver(),
+                bounds=self.base_config.bounds,
+                scalers=scalers,
+                n_trajectories=self.base_config.n_validation_trajectories,
+            )
+        return self._validation
+
+    # -------------------------------------------------------------- running
+    def run_one(self, name: str, overrides: Dict[str, Any]) -> tuple[RunResult, OnlineTrainingResult]:
+        """Run a single configuration and convert it into a :class:`RunResult`."""
+        config = apply_overrides(self.base_config, overrides)
+        timer = Timer(name=name)
+        with timer.span():
+            result = run_online_training(
+                config,
+                solver=self.shared_solver(),
+                validation_set=self.shared_validation_set(),
+            )
+        record = RunResult(
+            name=name,
+            config=dict(overrides),
+            metrics={
+                "final_train_loss": result.final_train_loss,
+                "final_validation_loss": result.final_validation_loss,
+                "overfit_gap": result.overfit_gap,
+                "iterations": float(result.history.train_iterations[-1]) if result.history.train_iterations else 0.0,
+                "steering_events": float(len(result.steering_records)),
+                "parameter_overwrites": float(result.launcher_summary.get("overwrites", 0)),
+                "uniform_fraction": result.uniform_fraction(),
+                "steering_seconds": result.steering_seconds,
+                "elapsed_seconds": timer.total,
+            },
+            series={
+                "train_iterations": [float(i) for i in result.history.train_iterations],
+                "train_losses": list(result.history.train_losses),
+                "validation_iterations": [float(i) for i in result.history.validation_iterations],
+                "validation_losses": list(result.history.validation_losses),
+            },
+        )
+        if self.on_result is not None:
+            self.on_result(record)
+        return record, result
+
+    def run_all(self, configurations: List[Dict[str, Any]], name_key: Optional[str] = None) -> StudyResults:
+        """Run every configuration of a study and collect the results."""
+        results = StudyResults(study=self.study_name)
+        for index, overrides in enumerate(configurations):
+            if name_key is not None and name_key in overrides:
+                name = f"{self.study_name}:{overrides[name_key]}"
+            elif "_factor" in overrides:
+                name = f"{self.study_name}:{overrides['_factor']}={overrides['_value']}"
+            else:
+                name = f"{self.study_name}:{index}"
+            _LOGGER.info("running %s (%d/%d)", name, index + 1, len(configurations))
+            record, _ = self.run_one(name, overrides)
+            results.add(record)
+        return results

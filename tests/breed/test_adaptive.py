@@ -1,0 +1,92 @@
+"""Tests for the adaptive resampling triggers (future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.breed.adaptive import AdaptiveTrigger, PeriodicTrigger
+
+
+class TestPeriodicTrigger:
+    def test_fires_on_multiples_of_period(self):
+        trigger = PeriodicTrigger(period=10)
+        q = np.ones(5)
+        assert not trigger.should_fire(0, q)
+        assert not trigger.should_fire(9, q)
+        assert trigger.should_fire(10, q)
+        assert trigger.should_fire(20, q)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicTrigger(period=0)
+
+    def test_notify_fired_tracks_state(self):
+        trigger = PeriodicTrigger(period=5)
+        trigger.notify_fired(5)
+        assert trigger._last_fired == 5
+
+
+class TestAdaptiveTrigger:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTrigger(min_interval=0)
+        with pytest.raises(ValueError):
+            AdaptiveTrigger(min_interval=10, max_interval=5)
+        with pytest.raises(ValueError):
+            AdaptiveTrigger(ess_fraction=0.0)
+
+    def test_cooldown_blocks_early_firing(self):
+        trigger = AdaptiveTrigger(min_interval=20, max_interval=100, ess_fraction=0.0 + 1e-9)
+        assert not trigger.should_fire(10, np.ones(10))
+
+    def test_fires_when_weights_are_diverse(self):
+        trigger = AdaptiveTrigger(min_interval=5, max_interval=1000, ess_fraction=0.5)
+        # Uniform Q values -> ESS fraction = 1 -> fire.
+        assert trigger.should_fire(10, np.ones(20))
+
+    def test_does_not_fire_on_degenerate_weights(self):
+        trigger = AdaptiveTrigger(min_interval=5, max_interval=1000, ess_fraction=0.5)
+        q = np.zeros(20)
+        q[3] = 100.0                      # one dominant location -> ESS fraction ~ 1/20
+        assert not trigger.should_fire(10, q)
+
+    def test_max_interval_forces_firing(self):
+        trigger = AdaptiveTrigger(min_interval=5, max_interval=30, ess_fraction=0.99)
+        q = np.zeros(20)
+        q[0] = 1.0
+        assert not trigger.should_fire(10, q)
+        assert trigger.should_fire(30, q)
+
+    def test_notify_fired_resets_cooldown(self):
+        trigger = AdaptiveTrigger(min_interval=10, max_interval=100, ess_fraction=0.5)
+        assert trigger.should_fire(10, np.ones(8))
+        trigger.notify_fired(10)
+        assert not trigger.should_fire(15, np.ones(8))
+        assert trigger.should_fire(20, np.ones(8))
+
+    def test_empty_window_never_satisfies_criterion(self):
+        trigger = AdaptiveTrigger(min_interval=1, max_interval=1000, ess_fraction=0.1)
+        assert not trigger.should_fire(5, np.array([]))
+
+    def test_entropy_mode(self):
+        trigger = AdaptiveTrigger(min_interval=1, max_interval=1000, ess_fraction=0.9, use_entropy=True)
+        assert trigger.should_fire(5, np.ones(16))          # uniform -> normalised entropy 1
+        degenerate = np.zeros(16)
+        degenerate[0] = 1.0
+        trigger_low = AdaptiveTrigger(min_interval=1, max_interval=1000, ess_fraction=0.9, use_entropy=True)
+        assert not trigger_low.should_fire(5, degenerate)
+
+    def test_entropy_mode_single_element_window(self):
+        trigger = AdaptiveTrigger(min_interval=1, max_interval=1000, ess_fraction=0.5, use_entropy=True)
+        assert trigger.should_fire(5, np.array([2.0]))
+
+    def test_history_recorded_for_evaluated_iterations(self):
+        trigger = AdaptiveTrigger(min_interval=1, max_interval=1000, ess_fraction=0.5)
+        trigger.should_fire(5, np.ones(4))
+        trigger.should_fire(6, np.ones(4))
+        assert len(trigger.history) == 2
+        assert all(0.0 <= v <= 1.0 for _, v in trigger.history)
+
+    def test_iteration_zero_never_fires(self):
+        assert not AdaptiveTrigger().should_fire(0, np.ones(4))

@@ -1,0 +1,68 @@
+"""Integration of the adaptive trigger with the Breed sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.breed.adaptive import AdaptiveTrigger, PeriodicTrigger
+from repro.breed.samplers import BreedConfig, BreedSampler
+from repro.sampling.bounds import HEAT2D_BOUNDS
+
+
+def feed(sampler, iteration, n=8):
+    rng = np.random.default_rng(iteration)
+    sampler.observe_batch(
+        iteration=iteration,
+        simulation_ids=list(range(n)),
+        timesteps=[0] * n,
+        sample_losses=rng.random(n).tolist(),
+        parameters=[rng.uniform(100, 500, 5) for _ in range(n)],
+    )
+
+
+class TestBreedSamplerWithTriggers:
+    def test_periodic_trigger_matches_builtin_behaviour(self, rng):
+        config = BreedConfig(period=10, window=30)
+        builtin = BreedSampler(HEAT2D_BOUNDS, config)
+        injected = BreedSampler(HEAT2D_BOUNDS, config, trigger=PeriodicTrigger(period=10))
+        for sampler in (builtin, injected):
+            sampler.initial_parameters(20, rng)
+            feed(sampler, 1)
+        for iteration in range(1, 31):
+            assert builtin.should_resample(iteration) == injected.should_resample(iteration)
+
+    def test_adaptive_trigger_fires_and_notifies(self, rng):
+        trigger = AdaptiveTrigger(min_interval=5, max_interval=100, ess_fraction=0.05)
+        sampler = BreedSampler(HEAT2D_BOUNDS, BreedConfig(period=999, window=30), trigger=trigger)
+        sampler.initial_parameters(20, rng)
+        feed(sampler, 1)
+        # The built-in period (999) would never fire; the adaptive trigger does.
+        assert sampler.should_resample(10)
+        decision = sampler.resample(4, 10, rng)
+        assert decision is not None
+        # Cool-down after firing.
+        feed(sampler, 11)
+        assert not sampler.should_resample(12)
+        assert sampler.should_resample(20)
+
+    def test_adaptive_trigger_blocked_without_observations(self, rng):
+        trigger = AdaptiveTrigger(min_interval=1, max_interval=10, ess_fraction=0.1)
+        sampler = BreedSampler(HEAT2D_BOUNDS, BreedConfig(period=999), trigger=trigger)
+        sampler.initial_parameters(10, rng)
+        assert not sampler.should_resample(50)  # no losses observed yet
+
+    def test_degenerate_q_landscape_defers_until_max_interval(self, rng):
+        trigger = AdaptiveTrigger(min_interval=2, max_interval=40, ess_fraction=0.99)
+        sampler = BreedSampler(HEAT2D_BOUNDS, BreedConfig(period=999, window=30), trigger=trigger)
+        sampler.initial_parameters(20, rng)
+        # One sample far above the batch mean -> a single dominant Q value.
+        sampler.observe_batch(
+            iteration=1,
+            simulation_ids=[0, 1, 2, 3],
+            timesteps=[0, 0, 0, 0],
+            sample_losses=[10.0, 0.1, 0.1, 0.1],
+            parameters=[np.full(5, 200.0)] * 4,
+        )
+        assert not sampler.should_resample(10)
+        assert sampler.should_resample(40)

@@ -1,0 +1,143 @@
+"""Integration tests of the figure-reproduction harness (tiny scale).
+
+Each test runs the real experiment pipeline at a reduced size (fewer
+architecture cells / factor values than the benches) and checks the structural
+properties the paper reports.  Marked ``slow`` tests exercise the full smoke
+scale used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3a import run_fig3a
+from repro.experiments.fig3b import run_fig3b
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.overhead import run_overhead
+
+
+class TestFig3a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # One cell, both methods, smoke scale.
+        return run_fig3a(scale="smoke", hidden_sizes=[16], layer_counts=[1], seed=3)
+
+    def test_cells_and_curves_present(self, result):
+        assert len(result.cells) == 1
+        cell = result.cell(16, 1)
+        assert set(cell.curves) == {"Breed", "Random"}
+        assert cell.label == "H=16, L=1"
+
+    def test_curves_have_losses(self, result):
+        for curve in result.cell(16, 1).curves.values():
+            assert curve.train_iterations.size > 0
+            assert curve.validation_iterations.size > 0
+            assert np.all(np.isfinite(curve.train_losses))
+
+    def test_summary_rows(self, result):
+        rows = result.summary_rows()
+        assert len(rows) == 2
+        assert all(len(row) == 5 for row in rows)
+
+    def test_mean_overfit_gap_finite(self, result):
+        assert np.isfinite(result.mean_overfit_gap("Breed"))
+        assert np.isfinite(result.mean_overfit_gap("Random"))
+
+    def test_missing_cell_raises(self, result):
+        with pytest.raises(KeyError):
+            result.cell(99, 9)
+
+
+class TestFig3b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3b(scale="smoke", factors={"sigma": [1.0, 25.0]}, seed=3)
+
+    def test_panels(self, result):
+        assert len(result.panels) == 1
+        panel = result.panel("sigma")
+        assert set(panel.curves) == {1.0, 25.0}
+
+    def test_summary_rows(self, result):
+        rows = result.summary_rows()
+        assert len(rows) == 2
+        assert all(row[0] == "sigma" for row in rows)
+
+    def test_best_value(self, result):
+        assert result.panel("sigma").best_value() in (1.0, 25.0)
+
+    def test_missing_panel_raises(self, result):
+        with pytest.raises(KeyError):
+            result.panel("window")
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(scale="smoke", seed=3)
+
+    def test_histograms_present(self, result):
+        assert set(result.by_source) == {"Uniform", "Proposal"}
+        assert set(result.by_method) == {"Random", "Breed"}
+
+    def test_breed_run_contains_proposal_vectors(self, result):
+        assert result.by_source["Proposal"].n > 0
+        assert result.by_source["Uniform"].n > 0
+
+    def test_total_vectors_equal_budget(self, result):
+        budget = result.breed_run.config.n_simulations
+        assert result.by_source["Proposal"].n + result.by_source["Uniform"].n == budget
+        assert result.by_method["Breed"].n == budget
+        assert result.by_method["Random"].n == budget
+
+    def test_breed_shifts_deviation_upwards(self, result):
+        # The paper's qualitative claim (Fig. 4b): Breed's mean parameter
+        # deviation is shifted towards higher values than Random's.
+        assert result.breed_mean_shift > 0.0
+
+    def test_summary_keys(self, result):
+        assert {"uniform_mean", "proposal_mean", "breed_mean_shift"} <= set(result.summary())
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(scale="smoke", seed=3)
+
+    def test_matrix_dimensions(self, result):
+        assert result.matrix.matrix.shape == (7, 7)
+
+    def test_statistics_recorded(self, result):
+        assert len(result.run.history.sample_statistics) > 0
+
+    def test_paper_shape_checks(self, result):
+        checks = result.checks()
+        assert checks["deviation_weakly_coupled_to_iteration"]
+        assert checks["deviation_positively_tracks_sample_loss"]
+        assert checks["losses_decrease_with_iteration"]
+
+    def test_key_findings_magnitudes(self, result):
+        findings = result.key_findings()
+        # Deviation metric should be far less coupled to the iteration than the raw loss.
+        assert abs(findings["deviation_vs_iteration"]) < abs(findings["sample_loss_vs_iteration"])
+
+
+class TestOverhead:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_overhead(scale="smoke", seed=3)
+
+    def test_random_run_has_zero_steering_time(self, result):
+        assert result.random_run.steering_seconds == 0.0
+        assert len(result.random_run.steering_records) == 0
+
+    def test_breed_steering_time_is_negligible(self, result):
+        assert result.breed_run.steering_seconds < 1.0
+        assert result.overhead_is_negligible
+
+    def test_summary(self, result):
+        summary = result.summary()
+        assert summary["breed_steering_events"] >= 1
+        assert summary["breed_steering_seconds"] >= 0.0

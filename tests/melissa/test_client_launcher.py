@@ -1,0 +1,207 @@
+"""Tests for the solver clients and the launcher's steering semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.breed.samplers import ParameterSource
+from repro.melissa.client import ClientFactory, SolverClient
+from repro.melissa.launcher import Launcher, SimulationState
+from repro.melissa.scheduler import BatchScheduler
+from repro.sampling.bounds import HEAT2D_BOUNDS
+from repro.sampling.uniform import uniform_in_bounds
+from repro.utils.logging import EventLog
+
+
+@pytest.fixture
+def params():
+    return [300.0, 100.0, 500.0, 200.0, 400.0]
+
+
+class TestSolverClient:
+    def test_streams_full_trajectory(self, tiny_solver, params):
+        client = SolverClient(0, np.array(params), tiny_solver)
+        messages = client.produce(max_steps=100)
+        assert len(messages) == tiny_solver.n_timesteps + 1
+        assert client.finished
+        assert client.n_produced == len(messages)
+        assert [m.timestep for m in messages] == list(range(len(messages)))
+
+    def test_incremental_production(self, tiny_solver, params):
+        client = SolverClient(1, np.array(params), tiny_solver)
+        first = client.produce(2)
+        second = client.produce(2)
+        assert [m.timestep for m in first] == [0, 1]
+        assert [m.timestep for m in second] == [2, 3]
+        assert not client.finished
+
+    def test_payload_matches_direct_solve(self, tiny_solver, params):
+        client = SolverClient(0, np.array(params), tiny_solver)
+        messages = client.produce(100)
+        reference = tiny_solver.solve(params)
+        np.testing.assert_allclose(messages[-1].payload, reference.final_field)
+
+    def test_produce_after_finish_returns_empty(self, tiny_solver, params):
+        client = SolverClient(0, np.array(params), tiny_solver)
+        client.produce(100)
+        assert client.produce(5) == []
+
+    def test_invalid_max_steps(self, tiny_solver, params):
+        with pytest.raises(ValueError):
+            SolverClient(0, np.array(params), tiny_solver).produce(0)
+
+    def test_finish_message(self, tiny_solver, params):
+        client = SolverClient(3, np.array(params), tiny_solver)
+        client.produce(100)
+        msg = client.finish_message()
+        assert msg.simulation_id == 3
+        assert msg.n_timesteps == client.n_produced
+
+    def test_expected_timesteps(self, tiny_solver, params):
+        assert SolverClient(0, np.array(params), tiny_solver).expected_timesteps == tiny_solver.n_timesteps + 1
+
+    def test_factory_records_created_clients(self, tiny_solver, params):
+        factory = ClientFactory(solver=tiny_solver)
+        factory.create(0, np.array(params))
+        factory.create(1, np.array(params))
+        assert factory.created == [0, 1]
+
+
+def make_launcher(tiny_solver, n_simulations=12, job_limit=3, delay=0, seed=0, event_log=None):
+    rng = np.random.default_rng(seed)
+    params = uniform_in_bounds(n_simulations, HEAT2D_BOUNDS, rng)
+    scheduler = BatchScheduler(job_limit=job_limit, rng=rng, max_start_delay=delay)
+    return Launcher(params, ClientFactory(solver=tiny_solver), scheduler, event_log=event_log)
+
+
+class TestLauncherSubmission:
+    def test_budget_and_initial_state(self, tiny_solver):
+        launcher = make_launcher(tiny_solver)
+        assert launcher.budget == 12
+        assert launcher.count_state(SimulationState.PENDING) == 12
+        assert launcher.highest_submitted_id == -1
+
+    def test_empty_budget_rejected(self, tiny_solver):
+        with pytest.raises(ValueError):
+            Launcher(
+                np.empty((0, 5)),
+                ClientFactory(solver=tiny_solver),
+                BatchScheduler(1, np.random.default_rng(0)),
+            )
+
+    def test_submit_respects_job_limit(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, job_limit=3)
+        submitted = launcher.submit_available()
+        assert submitted == [0, 1, 2]
+        assert launcher.highest_submitted_id == 2
+        # No further submissions until something finishes.
+        assert launcher.submit_available() == []
+
+    def test_start_and_finish_lifecycle(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, job_limit=2)
+        launcher.submit_available()
+        clients = launcher.advance_scheduler()
+        assert len(clients) == 2
+        assert launcher.count_state(SimulationState.RUNNING) == 2
+        launcher.mark_finished(clients[0].simulation_id)
+        assert launcher.count_state(SimulationState.FINISHED) == 1
+        # A freed slot allows the next submission.
+        assert launcher.submit_available() == [2]
+
+    def test_mark_finished_requires_running(self, tiny_solver):
+        launcher = make_launcher(tiny_solver)
+        with pytest.raises(ValueError):
+            launcher.mark_finished(0)
+
+    def test_running_clients_listing(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, job_limit=2)
+        launcher.submit_available()
+        launcher.advance_scheduler()
+        assert len(launcher.running_clients()) == 2
+
+    def test_all_finished(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, n_simulations=2, job_limit=2)
+        launcher.submit_available()
+        clients = launcher.advance_scheduler()
+        for client in clients:
+            launcher.mark_finished(client.simulation_id)
+        assert launcher.all_finished
+
+    def test_events_emitted(self, tiny_solver):
+        log = EventLog()
+        launcher = make_launcher(tiny_solver, job_limit=1, event_log=log)
+        launcher.submit_available()
+        launcher.advance_scheduler()
+        assert log.filter(source="launcher", event="submitted")
+        assert log.filter(source="launcher", event="started")
+
+
+class TestLauncherSteering:
+    def test_steerable_ids_respect_k_plus_m_rule(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, n_simulations=12, job_limit=3)
+        launcher.submit_available()           # submits 0, 1, 2 -> k = 2
+        steerable = launcher.steerable_simulation_ids()
+        # Rule: only pending ids >= k + m = 2 + 3 = 5 are steerable.
+        assert steerable == list(range(5, 12))
+
+    def test_steerable_before_any_submission(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, n_simulations=6, job_limit=3)
+        # k = -1, threshold = 2: ids 2..5 steerable.
+        assert launcher.steerable_simulation_ids() == [2, 3, 4, 5]
+
+    def test_steerable_excludes_submitted(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, n_simulations=6, job_limit=2)
+        launcher.submit_available()
+        steerable = launcher.steerable_simulation_ids()
+        assert 0 not in steerable and 1 not in steerable
+
+    def test_update_parameters_overwrites_pending(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, n_simulations=8, job_limit=2)
+        launcher.submit_available()
+        target = launcher.steerable_simulation_ids()[0]
+        new_params = np.full(5, 321.0)
+        launcher.update_parameters(target, new_params, ParameterSource.PROPOSAL)
+        record = launcher.records[target]
+        np.testing.assert_array_equal(record.parameters, new_params)
+        assert record.source == ParameterSource.PROPOSAL
+        assert record.n_updates == 1
+        assert record.history == [ParameterSource.PROPOSAL]
+
+    def test_update_parameters_rejected_for_non_pending(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, job_limit=2)
+        launcher.submit_available()
+        with pytest.raises(ValueError):
+            launcher.update_parameters(0, np.full(5, 300.0), ParameterSource.PROPOSAL)
+
+    def test_started_client_uses_latest_parameters(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, n_simulations=6, job_limit=1)
+        new_params = np.full(5, 444.0)
+        launcher.update_parameters(4, new_params, ParameterSource.PROPOSAL)
+        # Run the first four simulations to completion so 4 eventually starts.
+        started_params = None
+        for _ in range(50):
+            launcher.submit_available()
+            for client in launcher.advance_scheduler():
+                if client.simulation_id == 4:
+                    started_params = client.parameters
+                launcher.mark_finished(client.simulation_id)
+            if started_params is not None:
+                break
+        np.testing.assert_array_equal(started_params, new_params)
+
+    def test_executed_parameters_and_sources(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, n_simulations=6, job_limit=2)
+        launcher.update_parameters(5, np.full(5, 200.0), ParameterSource.MIX_UNIFORM)
+        params, sources = launcher.executed_parameters()
+        assert params.shape == (6, 5)
+        assert sources[5] == ParameterSource.MIX_UNIFORM
+        assert sources[0] == ParameterSource.INITIAL_UNIFORM
+
+    def test_summary_counts_overwrites(self, tiny_solver):
+        launcher = make_launcher(tiny_solver, n_simulations=6, job_limit=2)
+        launcher.update_parameters(5, np.full(5, 200.0), ParameterSource.PROPOSAL)
+        launcher.update_parameters(5, np.full(5, 220.0), ParameterSource.PROPOSAL)
+        summary = launcher.summary()
+        assert summary["overwrites"] == 2
+        assert summary["total"] == 6

@@ -1,0 +1,101 @@
+"""Tests for the message types and in-process transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.melissa.messages import (
+    ParameterUpdate,
+    SimulationFinished,
+    SimulationStarted,
+    StopClient,
+    TimeStepMessage,
+)
+from repro.melissa.transport import Channel, InProcessTransport
+
+
+class TestMessages:
+    def test_timestep_message_flattens_payload(self):
+        msg = TimeStepMessage(simulation_id=1, parameters=[1.0, 2.0], timestep=3, payload=np.ones((2, 2)))
+        assert msg.payload.shape == (4,)
+        assert msg.parameters.dtype == np.float64
+        assert msg.nbytes > 0
+
+    def test_simulation_started_finished(self):
+        started = SimulationStarted(simulation_id=2, parameters=[1.0])
+        finished = SimulationFinished(simulation_id=2, n_timesteps=10)
+        assert started.simulation_id == finished.simulation_id == 2
+        assert finished.n_timesteps == 10
+
+    def test_parameter_update_defaults(self):
+        update = ParameterUpdate(simulation_id=4, parameters=[1.0, 2.0])
+        assert update.source == "proposal"
+
+    def test_stop_client_broadcast(self):
+        assert StopClient().simulation_id is None
+
+    def test_messages_are_frozen(self):
+        msg = TimeStepMessage(simulation_id=1, timestep=0)
+        with pytest.raises(Exception):
+            msg.timestep = 5  # type: ignore[misc]
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        channel = Channel("test")
+        for i in range(3):
+            channel.put(TimeStepMessage(simulation_id=i, timestep=i))
+        assert [channel.get().simulation_id for _ in range(3)] == [0, 1, 2]
+
+    def test_get_empty_returns_none(self):
+        assert Channel("x").get() is None
+
+    def test_bounded_channel_backpressure(self):
+        channel = Channel("bounded", maxsize=2)
+        assert channel.put(TimeStepMessage(simulation_id=0))
+        assert channel.put(TimeStepMessage(simulation_id=1))
+        assert not channel.put(TimeStepMessage(simulation_id=2))
+        channel.get()
+        assert channel.put(TimeStepMessage(simulation_id=2))
+
+    def test_drain_with_limit(self):
+        channel = Channel("d")
+        for i in range(5):
+            channel.put(TimeStepMessage(simulation_id=i))
+        assert len(channel.drain(limit=3)) == 3
+        assert len(channel) == 2
+        assert len(channel.drain()) == 2
+
+    def test_stats_accumulate_bytes(self):
+        channel = Channel("stats")
+        channel.put(TimeStepMessage(simulation_id=0, payload=np.zeros(100)))
+        channel.put(TimeStepMessage(simulation_id=1, payload=np.zeros(100)))
+        assert channel.stats.n_messages == 2
+        assert channel.stats.n_bytes >= 2 * 100 * 8
+        assert channel.stats.max_depth == 2
+
+
+class TestInProcessTransport:
+    def test_default_channels_exist(self):
+        transport = InProcessTransport()
+        assert transport.data is transport.channel("data")
+        assert transport.steering.name == "steering"
+        assert transport.jobs.name == "jobs"
+
+    def test_channel_created_on_demand(self):
+        transport = InProcessTransport()
+        extra = transport.channel("monitoring")
+        assert transport.channel("monitoring") is extra
+
+    def test_total_counters(self):
+        transport = InProcessTransport()
+        transport.data.put(TimeStepMessage(simulation_id=0, payload=np.zeros(10)))
+        transport.jobs.put(SimulationStarted(simulation_id=0))
+        assert transport.total_messages() == 2
+        assert transport.total_bytes() > 0
+
+    def test_data_channel_maxsize(self):
+        transport = InProcessTransport(data_channel_maxsize=1)
+        assert transport.data.put(TimeStepMessage(simulation_id=0))
+        assert not transport.data.put(TimeStepMessage(simulation_id=1))

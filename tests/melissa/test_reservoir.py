@@ -1,0 +1,170 @@
+"""Tests for the reservoir buffer, including property-based invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.melissa.reservoir import Reservoir
+
+
+def make_reservoir(capacity=10, watermark=3, seed=0):
+    return Reservoir(capacity=capacity, watermark=watermark, rng=np.random.default_rng(seed))
+
+
+def put_sample(reservoir, sim_id=0, timestep=0):
+    return reservoir.put(sim_id, timestep, x=np.array([float(sim_id), float(timestep)]), y=np.zeros(3))
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_reservoir(capacity=0)
+        with pytest.raises(ValueError):
+            make_reservoir(watermark=0)
+        with pytest.raises(ValueError):
+            make_reservoir(capacity=5, watermark=6)
+
+
+class TestWatermark:
+    def test_not_ready_before_watermark(self):
+        reservoir = make_reservoir(capacity=10, watermark=3)
+        put_sample(reservoir, 0)
+        put_sample(reservoir, 1)
+        assert not reservoir.ready_for_training
+        assert reservoir.sample_batch(2) is None
+
+    def test_ready_at_watermark(self):
+        reservoir = make_reservoir(capacity=10, watermark=3)
+        for i in range(3):
+            put_sample(reservoir, i)
+        assert reservoir.ready_for_training
+        assert reservoir.sample_batch(2) is not None
+
+
+class TestPutAndEviction:
+    def test_accepts_until_capacity(self):
+        reservoir = make_reservoir(capacity=4, watermark=1)
+        for i in range(4):
+            assert put_sample(reservoir, i)
+        assert len(reservoir) == 4
+        assert reservoir.is_full
+
+    def test_rejects_when_full_of_unseen_samples(self):
+        reservoir = make_reservoir(capacity=3, watermark=1)
+        for i in range(3):
+            put_sample(reservoir, i)
+        # Nothing has been consumed yet: back-pressure.
+        assert not reservoir.can_accept()
+        assert not put_sample(reservoir, 99)
+        assert reservoir.n_rejected == 1
+        assert len(reservoir) == 3
+
+    def test_evicts_only_seen_samples(self):
+        reservoir = make_reservoir(capacity=3, watermark=1, seed=1)
+        for i in range(3):
+            put_sample(reservoir, i)
+        reservoir.sample_batch(2)  # marks two entries as seen
+        assert reservoir.can_accept()
+        assert put_sample(reservoir, 99)
+        assert reservoir.n_evicted == 1
+        # The surviving unseen entry must still be present.
+        sim_ids = {e.simulation_id for e in reservoir.entries()}
+        assert 99 in sim_ids
+        assert len(sim_ids & {0, 1, 2}) == 2
+
+    def test_size_never_exceeds_capacity(self):
+        reservoir = make_reservoir(capacity=5, watermark=1)
+        for i in range(20):
+            put_sample(reservoir, i)
+            reservoir.sample_batch(3)
+            assert len(reservoir) <= 5
+
+    def test_received_counter(self):
+        reservoir = make_reservoir()
+        put_sample(reservoir, 0)
+        put_sample(reservoir, 1)
+        assert reservoir.n_received == 2
+
+
+class TestSampling:
+    def test_batch_contents_and_shapes(self):
+        reservoir = make_reservoir(capacity=10, watermark=2)
+        for i in range(6):
+            put_sample(reservoir, i, timestep=i)
+        batch = reservoir.sample_batch(4)
+        assert batch is not None
+        assert len(batch) == 4
+        assert batch.inputs.shape == (4, 2)
+        assert batch.targets.shape == (4, 3)
+        assert batch.simulation_ids.shape == (4,)
+        # No duplicates within one batch (sampling without replacement).
+        assert len(set(batch.simulation_ids.tolist())) == 4
+
+    def test_batch_larger_than_buffer_returns_everything(self):
+        reservoir = make_reservoir(capacity=10, watermark=2)
+        for i in range(3):
+            put_sample(reservoir, i)
+        batch = reservoir.sample_batch(8)
+        assert batch is not None and len(batch) == 3
+
+    def test_seen_counts_increment(self):
+        reservoir = make_reservoir(capacity=4, watermark=1)
+        for i in range(4):
+            put_sample(reservoir, i)
+        reservoir.sample_batch(4)
+        reservoir.sample_batch(4)
+        assert np.all(reservoir.seen_counts() == 2)
+        mean_reuse, max_reuse = reservoir.reuse_statistics()
+        assert mean_reuse == 2.0 and max_reuse == 2
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            make_reservoir().sample_batch(0)
+
+    def test_batches_counted(self):
+        reservoir = make_reservoir(capacity=4, watermark=1)
+        put_sample(reservoir, 0)
+        reservoir.sample_batch(1)
+        assert reservoir.n_batches == 1
+
+    def test_summary_keys(self):
+        summary = make_reservoir().summary()
+        assert {"size", "capacity", "received", "rejected", "evicted", "batches"} <= set(summary)
+
+    def test_reuse_statistics_empty(self):
+        assert make_reservoir().reuse_statistics() == (0.0, 0)
+
+
+class TestReservoirInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        capacity=st.integers(min_value=1, max_value=20),
+        n_operations=st.integers(min_value=1, max_value=120),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_random_workload_invariants(self, capacity, n_operations, seed):
+        rng = np.random.default_rng(seed)
+        watermark = max(1, capacity // 2)
+        reservoir = Reservoir(capacity=capacity, watermark=watermark, rng=np.random.default_rng(seed + 1))
+        accepted = 0
+        rejected = 0
+        for op in range(n_operations):
+            if rng.random() < 0.6:
+                ok = reservoir.put(op, op, np.array([float(op)]), np.array([0.0]))
+                accepted += int(ok)
+                rejected += int(not ok)
+            else:
+                batch = reservoir.sample_batch(int(rng.integers(1, 8)))
+                if not reservoir.ready_for_training:
+                    assert batch is None
+            # Invariants.
+            assert len(reservoir) <= capacity
+            assert reservoir.n_unseen <= len(reservoir)
+            assert reservoir.n_received == accepted + rejected
+            assert reservoir.n_rejected == rejected
+            # A rejection may only ever happen when the buffer is full.
+            if rejected and len(reservoir) < capacity:
+                pytest.fail("sample rejected while the reservoir had free space")

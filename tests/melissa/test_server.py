@@ -1,0 +1,183 @@
+"""Tests for the training server (reception, training loop, statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.breed.controller import BreedController
+from repro.breed.samplers import BreedConfig, BreedSampler, RandomSampler
+from repro.melissa.messages import TimeStepMessage
+from repro.melissa.reservoir import Reservoir
+from repro.melissa.server import TrainingServer
+from repro.nn.optim import Adam
+from repro.sampling.bounds import HEAT2D_BOUNDS
+from repro.surrogate.model import DirectSurrogate, SurrogateConfig
+from repro.surrogate.validation import build_validation_set
+
+
+def make_server(
+    tiny_solver,
+    tiny_scalers,
+    method="random",
+    batch_size=8,
+    watermark=6,
+    capacity=64,
+    with_validation=False,
+    record_stats=False,
+    seed=0,
+):
+    rng = np.random.default_rng(seed)
+    model = DirectSurrogate(
+        SurrogateConfig(output_dim=tiny_solver.field_size, hidden_size=8, n_hidden_layers=1),
+        tiny_scalers,
+        rng=rng,
+    )
+    sampler = (
+        BreedSampler(HEAT2D_BOUNDS, BreedConfig(sigma=25.0, period=5, window=20))
+        if method == "breed"
+        else RandomSampler(HEAT2D_BOUNDS)
+    )
+    sampler.initial_parameters(16, rng)
+    controller = BreedController(sampler=sampler, rng=rng)
+    validation = (
+        build_validation_set(tiny_solver, HEAT2D_BOUNDS, tiny_scalers, n_trajectories=2)
+        if with_validation
+        else None
+    )
+    server = TrainingServer(
+        model=model,
+        optimizer=Adam(model.parameters(), lr=1e-3),
+        reservoir=Reservoir(capacity=capacity, watermark=watermark, rng=rng),
+        controller=controller,
+        batch_size=batch_size,
+        validation_set=validation,
+        validation_period=5,
+        record_sample_statistics=record_stats,
+    )
+    return server
+
+
+def feed_trajectory(server, tiny_solver, sim_id=0, params=(300.0, 100.0, 500.0, 200.0, 400.0)):
+    accepted = 0
+    for timestep, field in enumerate(tiny_solver.steps(np.array(params))):
+        message = TimeStepMessage(
+            simulation_id=sim_id, parameters=np.array(params), timestep=timestep, payload=field
+        )
+        if server.receive(message):
+            accepted += 1
+    return accepted
+
+
+class TestReception:
+    def test_receive_normalises_and_stores(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers)
+        accepted = feed_trajectory(server, tiny_solver)
+        assert accepted == tiny_solver.n_timesteps + 1
+        assert len(server.reservoir) == accepted
+        entry = server.reservoir.entries()[0]
+        assert entry.x.shape == (6,)
+        assert np.all((entry.x >= 0.0) & (entry.x <= 1.0))
+
+    def test_backpressure_when_reservoir_saturated(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers, capacity=4, watermark=2)
+        feed_trajectory(server, tiny_solver, sim_id=0)
+        # Buffer full of unseen samples -> further receives are rejected.
+        rejected_before = server.reservoir.n_rejected
+        assert not server.receive(
+            TimeStepMessage(simulation_id=1, parameters=np.full(5, 300.0), timestep=0,
+                            payload=np.full(tiny_solver.field_size, 300.0))
+        )
+        assert server.reservoir.n_rejected == rejected_before + 1
+
+
+class TestTraining:
+    def test_not_ready_before_watermark(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers, watermark=50)
+        feed_trajectory(server, tiny_solver)
+        assert not server.ready
+        assert server.train_iteration() is None
+        assert server.iteration == 0
+
+    def test_train_iteration_records_history(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers)
+        feed_trajectory(server, tiny_solver)
+        loss = server.train_iteration()
+        assert loss is not None and np.isfinite(loss)
+        assert server.iteration == 1
+        assert server.history.train_losses == [loss]
+        assert server.history.train_iterations == [1]
+
+    def test_loss_decreases_over_many_iterations(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers, batch_size=16)
+        for sim_id in range(3):
+            feed_trajectory(server, tiny_solver, sim_id=sim_id)
+        losses = [server.train_iteration() for _ in range(120)]
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_validation_runs_periodically(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers, with_validation=True)
+        feed_trajectory(server, tiny_solver)
+        for _ in range(10):
+            server.train_iteration()
+        assert server.history.validation_iterations == [5, 10]
+        assert all(np.isfinite(v) for v in server.history.validation_losses)
+
+    def test_evaluate_validation_on_demand(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers, with_validation=True)
+        value = server.evaluate_validation()
+        assert value is not None and np.isfinite(value)
+        assert make_server(tiny_solver, tiny_scalers).evaluate_validation() is None
+
+    def test_losses_feed_breed_tracker(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers, method="breed")
+        feed_trajectory(server, tiny_solver, sim_id=0)
+        server.train_iteration()
+        sampler = server.controller.sampler
+        assert len(sampler.tracker.observed_ids()) >= 1  # type: ignore[attr-defined]
+
+    def test_sample_statistics_recorded(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers, record_stats=True, batch_size=4)
+        feed_trajectory(server, tiny_solver)
+        server.train_iteration()
+        stats = server.history.sample_statistics
+        assert len(stats) == 4
+        row = stats[0]
+        assert row.iteration == 1
+        assert np.isfinite(row.sample_loss) and row.deviation >= 0.0
+
+    def test_mark_parameter_source_used_in_statistics(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers, record_stats=True, batch_size=4)
+        server.mark_parameter_source(0, uniform=False)
+        feed_trajectory(server, tiny_solver, sim_id=0)
+        server.train_iteration()
+        assert all(not s.uniform for s in server.history.sample_statistics)
+
+    def test_summary_keys(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers)
+        feed_trajectory(server, tiny_solver)
+        server.train_iteration()
+        summary = server.summary()
+        assert {"iterations", "samples_received", "final_train_loss", "steering_events"} <= set(summary)
+
+    def test_invalid_construction(self, tiny_solver, tiny_scalers):
+        with pytest.raises(ValueError):
+            make_server(tiny_solver, tiny_scalers, batch_size=0)
+
+
+class TestHistory:
+    def test_as_arrays_and_finals(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers, with_validation=True)
+        feed_trajectory(server, tiny_solver)
+        for _ in range(6):
+            server.train_iteration()
+        train_iters, train_losses, val_iters, val_losses = server.history.as_arrays()
+        assert train_iters.shape == train_losses.shape == (6,)
+        assert val_iters.shape == val_losses.shape
+        assert server.history.final_train_loss() == train_losses[-1]
+        assert server.history.final_validation_loss() == val_losses[-1]
+
+    def test_empty_history_nan_finals(self, tiny_solver, tiny_scalers):
+        server = make_server(tiny_solver, tiny_scalers)
+        assert np.isnan(server.history.final_train_loss())
+        assert np.isnan(server.history.final_validation_loss())

@@ -1,0 +1,129 @@
+"""Gradient verification: analytic autograd vs central finite differences.
+
+These are the most important tests of the NN substrate: every op used by the
+surrogate training loop is checked against numerical differentiation, both
+with hand-picked inputs and property-based random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.nn.grad_check import check_gradients, check_module_gradients, numerical_gradient
+from repro.nn.tensor import Tensor
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4),
+    elements=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        grad = numerical_gradient(lambda a: float((a**2).sum()), np.array([1.0, -2.0]))
+        np.testing.assert_allclose(grad, [2.0, -4.0], rtol=1e-5)
+
+    def test_matrix_input(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        grad = numerical_gradient(lambda a: float(a.sum()), x)
+        np.testing.assert_allclose(grad, np.ones((2, 2)), atol=1e-6)
+
+
+class TestCheckGradients:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda t: (t * t).sum(),
+            lambda t: (t * 3.0 + 1.0).mean(),
+            lambda t: t.relu().sum(),
+            lambda t: t.tanh().sum(),
+            lambda t: t.sigmoid().mean(),
+            lambda t: (t.exp() / (t.exp() + 1.0)).sum(),
+            lambda t: (t ** 3).sum(),
+            lambda t: t.abs().sum(),
+            lambda t: (t - t.mean()).sum(),
+            lambda t: ((t + 2.0) * (t - 1.0)).sum(),
+        ],
+        ids=[
+            "square", "affine", "relu", "tanh", "sigmoid", "exp-ratio",
+            "cube", "abs", "centered", "product",
+        ],
+    )
+    def test_elementwise_ops(self, rng, fn):
+        # Offset away from the ReLU/abs kinks so finite differences are valid.
+        x = rng.normal(size=(3, 4)) + 0.37
+        assert check_gradients(fn, x)
+
+    def test_matmul(self, rng):
+        w = rng.normal(size=(4, 2))
+        assert check_gradients(lambda t: (t @ Tensor(w)).sum(), rng.normal(size=(3, 4)))
+
+    def test_reductions_with_axis(self, rng):
+        assert check_gradients(lambda t: t.sum(axis=0).sum(), rng.normal(size=(3, 4)))
+        assert check_gradients(lambda t: t.mean(axis=1).sum(), rng.normal(size=(3, 4)))
+
+    def test_getitem(self, rng):
+        assert check_gradients(lambda t: t[1:3].sum(), rng.normal(size=(5,)))
+
+    def test_requires_scalar_output(self, rng):
+        with pytest.raises(ValueError):
+            check_gradients(lambda t: t * 2, rng.normal(size=(3,)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays)
+    def test_property_sum_of_squares(self, x):
+        assert check_gradients(lambda t: (t * t).sum(), x)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_arrays)
+    def test_property_tanh_mean(self, x):
+        assert check_gradients(lambda t: t.tanh().mean(), x)
+
+
+class TestModuleGradients:
+    def test_linear_layer(self, rng):
+        model = nn.Linear(3, 2, rng=rng)
+        results = check_module_gradients(
+            model,
+            inputs=rng.normal(size=(4, 3)),
+            targets=rng.normal(size=(4, 2)),
+            loss_fn=nn.MSELoss(),
+        )
+        assert all(results.values()), results
+
+    def test_two_layer_relu_mlp(self, rng):
+        model = nn.Sequential(nn.Linear(3, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        results = check_module_gradients(
+            model,
+            inputs=rng.normal(size=(6, 3)),
+            targets=rng.normal(size=(6, 2)),
+            loss_fn=nn.MSELoss(),
+        )
+        assert all(results.values()), results
+
+    def test_tanh_mlp_with_per_sample_loss(self, rng):
+        model = nn.Sequential(nn.Linear(4, 6, rng=rng), nn.Tanh(), nn.Linear(6, 3, rng=rng))
+        results = check_module_gradients(
+            model,
+            inputs=rng.normal(size=(5, 4)),
+            targets=rng.normal(size=(5, 3)),
+            loss_fn=lambda p, t: nn.functional.per_sample_mse(p, t).mean(),
+        )
+        assert all(results.values()), results
+
+    def test_subset_of_parameters(self, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        results = check_module_gradients(
+            model,
+            inputs=rng.normal(size=(3, 2)),
+            targets=rng.normal(size=(3, 2)),
+            loss_fn=nn.MSELoss(),
+            parameters=["weight"],
+        )
+        assert set(results) == {"weight"}

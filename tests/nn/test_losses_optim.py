@@ -1,0 +1,261 @@
+"""Tests for loss modules, optimizers and LR schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.losses import BatchLossRecord, PerSampleLossTracker
+from repro.nn.tensor import Tensor
+
+
+class TestMSELossModule:
+    def test_mean(self):
+        loss = nn.MSELoss()(Tensor([2.0]), Tensor([0.0]))
+        assert loss.item() == pytest.approx(4.0)
+
+    def test_per_sample_static(self, rng):
+        pred = Tensor(rng.normal(size=(4, 6)))
+        target = Tensor(rng.normal(size=(4, 6)))
+        per = nn.MSELoss.per_sample(pred, target)
+        assert per.shape == (4,)
+
+    def test_invalid_reduction(self):
+        with pytest.raises(ValueError):
+            nn.MSELoss(reduction="bad")
+
+
+class TestL1LossModule:
+    def test_value(self):
+        assert nn.L1Loss()(Tensor([3.0]), Tensor([1.0])).item() == pytest.approx(2.0)
+
+    def test_invalid_reduction(self):
+        with pytest.raises(ValueError):
+            nn.L1Loss(reduction="bad")
+
+
+class TestBatchLossRecord:
+    def test_statistics(self):
+        record = BatchLossRecord(iteration=3, sample_losses=np.array([1.0, 3.0]))
+        assert record.mean == pytest.approx(2.0)
+        assert record.std == pytest.approx(1.0)
+        assert record.batch_loss == record.mean
+
+    def test_deviations_formula(self):
+        record = BatchLossRecord(iteration=0, sample_losses=np.array([1.0, 3.0]))
+        np.testing.assert_allclose(record.deviations(), [0.0, 1.0])
+
+    def test_deviations_non_negative(self, rng):
+        record = BatchLossRecord(iteration=0, sample_losses=rng.random(32))
+        assert np.all(record.deviations() >= 0.0)
+
+    def test_zero_std_does_not_divide_by_zero(self):
+        record = BatchLossRecord(iteration=0, sample_losses=np.array([2.0, 2.0]))
+        assert np.all(np.isfinite(record.deviations()))
+
+    def test_empty_batch(self):
+        record = BatchLossRecord(iteration=0, sample_losses=np.array([]))
+        assert record.mean == 0.0 and record.std == 0.0
+
+
+class TestPerSampleLossTracker:
+    def test_batch_loss_is_differentiable_and_records(self, rng):
+        tracker = PerSampleLossTracker()
+        pred = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        target = Tensor(rng.normal(size=(5, 3)))
+        loss = tracker.batch_loss(pred, target, iteration=7)
+        loss.backward()
+        assert pred.grad is not None
+        assert tracker.last is not None
+        assert tracker.last.iteration == 7
+        assert tracker.last.sample_losses.shape == (5,)
+
+    def test_clear(self, rng):
+        tracker = PerSampleLossTracker()
+        tracker.batch_loss(Tensor(rng.normal(size=(2, 2))), Tensor(np.zeros((2, 2))), 0)
+        tracker.clear()
+        assert tracker.last is None
+
+
+def _quadratic_problem(rng, n=64, d=4):
+    """Linear-regression problem for optimizer convergence checks."""
+    true_w = rng.normal(size=(1, d))
+    x = rng.normal(size=(n, d))
+    y = x @ true_w.T
+    return x, y
+
+
+class TestSGD:
+    def test_converges_on_linear_regression(self, rng):
+        x, y = _quadratic_problem(rng)
+        model = nn.Linear(4, 1, rng=rng)
+        optimizer = nn.SGD(model.parameters(), lr=0.1)
+        loss_fn = nn.MSELoss()
+        first = None
+        for _ in range(200):
+            model.zero_grad()
+            loss = loss_fn(model(Tensor(x)), Tensor(y))
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.01 * first
+
+    def test_momentum_and_nesterov(self, rng):
+        x, y = _quadratic_problem(rng)
+        model = nn.Linear(4, 1, rng=rng)
+        optimizer = nn.SGD(model.parameters(), lr=0.05, momentum=0.9, nesterov=True)
+        loss_fn = nn.MSELoss()
+        for _ in range(100):
+            model.zero_grad()
+            loss = loss_fn(model(Tensor(x)), Tensor(y))
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 1e-2
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        model = nn.Linear(3, 1, rng=rng)
+        optimizer = nn.SGD(model.parameters(), lr=0.1, weight_decay=0.5)
+        before = np.abs(model.weight.data).sum()
+        for _ in range(10):
+            model.zero_grad()
+            model(Tensor(np.zeros((1, 3)))).sum().backward()
+            optimizer.step()
+        assert np.abs(model.weight.data).sum() < before
+
+    def test_invalid_arguments(self, rng):
+        params = nn.Linear(2, 1, rng=rng).parameters()
+        with pytest.raises(ValueError):
+            nn.SGD(params, lr=-1.0)
+        with pytest.raises(ValueError):
+            nn.SGD(params, lr=0.1, momentum=-0.1)
+        with pytest.raises(ValueError):
+            nn.SGD(params, lr=0.1, nesterov=True)
+
+    def test_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            nn.SGD([])
+
+    def test_skips_parameters_without_grad(self, rng):
+        model = nn.Linear(2, 1, rng=rng)
+        optimizer = nn.SGD(model.parameters(), lr=0.1)
+        before = model.weight.data.copy()
+        optimizer.step()  # no gradients accumulated
+        np.testing.assert_array_equal(model.weight.data, before)
+
+
+class TestAdam:
+    def test_converges_faster_than_plain_sgd_on_mlp(self, rng):
+        x = rng.normal(size=(64, 3))
+        y = np.sin(x).sum(axis=1, keepdims=True)
+
+        def train(optimizer_cls, **kwargs):
+            local_rng = np.random.default_rng(0)
+            model = nn.Sequential(nn.Linear(3, 16, rng=local_rng), nn.ReLU(), nn.Linear(16, 1, rng=local_rng))
+            optimizer = optimizer_cls(model.parameters(), **kwargs)
+            loss_fn = nn.MSELoss()
+            for _ in range(150):
+                model.zero_grad()
+                loss = loss_fn(model(Tensor(x)), Tensor(y))
+                loss.backward()
+                optimizer.step()
+            return loss.item()
+
+        assert train(nn.Adam, lr=1e-2) < train(nn.SGD, lr=1e-2)
+
+    def test_bias_correction_first_step_magnitude(self, rng):
+        # With a constant unit gradient, the first Adam update is ≈ lr.
+        p = nn.Parameter(np.array([0.0]))
+        optimizer = nn.Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        optimizer.step()
+        assert p.data[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_state_dict_roundtrip(self, rng):
+        p = nn.Parameter(np.array([1.0, 2.0]))
+        optimizer = nn.Adam([p], lr=0.01)
+        p.grad = np.array([0.5, -0.5])
+        optimizer.step()
+        state = optimizer.state_dict()
+        other = nn.Adam([nn.Parameter(np.array([1.0, 2.0]))], lr=0.01)
+        other.load_state_dict(state)
+        assert other.step_count == 1
+        np.testing.assert_allclose(other._m[0], optimizer._m[0])
+
+    def test_invalid_betas(self, rng):
+        params = [nn.Parameter(np.zeros(1))]
+        with pytest.raises(ValueError):
+            nn.Adam(params, betas=(1.0, 0.999))
+
+    def test_weight_decay_coupled(self):
+        p = nn.Parameter(np.array([10.0]))
+        optimizer = nn.Adam([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert p.data[0] < 10.0
+
+
+class TestAdamW:
+    def test_decoupled_decay_changes_weights_even_with_zero_grad(self):
+        p = nn.Parameter(np.array([10.0]))
+        optimizer = nn.AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert p.data[0] == pytest.approx(10.0 * (1 - 0.1 * 0.5), rel=1e-6)
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return nn.Adam([nn.Parameter(np.zeros(1))], lr=1.0)
+
+    def test_constant(self):
+        sched = nn.ConstantLR(self._optimizer())
+        assert sched.step() == 1.0
+
+    def test_step_lr(self):
+        optimizer = self._optimizer()
+        sched = nn.StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        optimizer = self._optimizer()
+        sched = nn.CosineAnnealingLR(optimizer, t_max=10, eta_min=0.0)
+        values = [sched.step() for _ in range(10)]
+        assert values[-1] == pytest.approx(0.0, abs=1e-12)
+        assert values[0] < 1.0
+
+    def test_cosine_monotone_decreasing(self):
+        sched = nn.CosineAnnealingLR(self._optimizer(), t_max=20)
+        values = [sched.step() for _ in range(20)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_reduce_on_plateau(self):
+        optimizer = self._optimizer()
+        sched = nn.ReduceLROnPlateau(optimizer, factor=0.5, patience=1)
+        sched.step_metric(1.0)
+        sched.step_metric(1.0)
+        lr = sched.step_metric(1.0)   # patience exceeded -> halve
+        assert lr == pytest.approx(0.5)
+
+    def test_reduce_on_plateau_improvement_resets(self):
+        sched = nn.ReduceLROnPlateau(self._optimizer(), factor=0.5, patience=2)
+        lr = None
+        for metric in [1.0, 0.9, 0.8, 0.7]:
+            lr = sched.step_metric(metric)
+        assert lr == pytest.approx(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            nn.StepLR(self._optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            nn.CosineAnnealingLR(self._optimizer(), t_max=0)
+        with pytest.raises(ValueError):
+            nn.ReduceLROnPlateau(self._optimizer(), factor=1.5)
+
+    def test_history_recorded(self):
+        sched = nn.StepLR(self._optimizer(), step_size=1, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert len(sched.history) == 3

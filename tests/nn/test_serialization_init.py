@@ -1,0 +1,83 @@
+"""Tests for checkpoint serialization and weight initialisation statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import init as init_schemes
+from repro.nn.serialization import load_checkpoint, load_state_dict, save_checkpoint, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+class TestStateDictIO:
+    def test_roundtrip(self, tmp_path, rng):
+        model = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+        path = save_state_dict(tmp_path / "weights", model.state_dict())
+        assert path.exists() and path.suffix == ".npz"
+        restored = load_state_dict(path)
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(restored[key], value)
+
+    def test_load_without_suffix(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        save_state_dict(tmp_path / "w", model.state_dict())
+        assert load_state_dict(tmp_path / "w")  # suffix added automatically
+
+
+class TestCheckpoints:
+    def test_checkpoint_roundtrip_restores_outputs(self, tmp_path, rng):
+        model = nn.Sequential(nn.Linear(3, 5, rng=rng), nn.ReLU(), nn.Linear(5, 1, rng=rng))
+        x = Tensor(rng.normal(size=(4, 3)))
+        expected = model(x).data.copy()
+        path = save_checkpoint(tmp_path / "model", model, metadata={"note": "test"})
+
+        fresh = nn.Sequential(
+            nn.Linear(3, 5, rng=np.random.default_rng(77)),
+            nn.ReLU(),
+            nn.Linear(5, 1, rng=np.random.default_rng(78)),
+        )
+        fresh, metadata = load_checkpoint(path, fresh)
+        np.testing.assert_allclose(fresh(x).data, expected)
+        assert metadata["note"] == "test"
+        assert metadata["num_parameters"] == model.num_parameters()
+
+    def test_missing_metadata_is_empty(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        path = save_state_dict(tmp_path / "bare", model.state_dict())
+        _, metadata = load_checkpoint(path, model)
+        assert metadata == {}
+
+
+class TestInitialisers:
+    def test_kaiming_uniform_bound(self, rng):
+        w = init_schemes.kaiming_uniform((64, 256), rng)
+        fan_in = 256
+        gain = np.sqrt(2.0 / (1.0 + 5.0))
+        bound = np.sqrt(3.0) * gain / np.sqrt(fan_in)
+        assert np.all(np.abs(w) <= bound + 1e-12)
+
+    def test_kaiming_normal_std(self, rng):
+        w = init_schemes.kaiming_normal((2000, 500), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 500), rel=0.05)
+
+    def test_xavier_uniform_bound(self, rng):
+        w = init_schemes.xavier_uniform((100, 300), rng)
+        bound = np.sqrt(6.0 / 400)
+        assert np.all(np.abs(w) <= bound + 1e-12)
+
+    def test_xavier_normal_std(self, rng):
+        w = init_schemes.xavier_normal((1000, 1000), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 2000), rel=0.05)
+
+    def test_zeros(self):
+        assert np.all(init_schemes.zeros((3, 3)) == 0.0)
+
+    def test_uniform_bias_bound(self, rng):
+        b = init_schemes.uniform_bias(100, 25, rng)
+        assert np.all(np.abs(b) <= 1.0 / 5.0 + 1e-12)
+
+    def test_rejects_non_2d_shapes(self, rng):
+        with pytest.raises(ValueError):
+            init_schemes.kaiming_uniform((3,), rng)  # type: ignore[arg-type]

@@ -1,0 +1,106 @@
+"""Tests for the Halton quasi-random sequence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.bounds import HEAT2D_BOUNDS
+from repro.sampling.halton import first_primes, halton_in_bounds, halton_sequence, radical_inverse
+
+
+class TestPrimes:
+    def test_first_ten(self):
+        assert first_primes(10) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            first_primes(0)
+
+
+class TestRadicalInverse:
+    def test_base2_known_values(self):
+        assert radical_inverse(1, 2) == 0.5
+        assert radical_inverse(2, 2) == 0.25
+        assert radical_inverse(3, 2) == 0.75
+        assert radical_inverse(4, 2) == 0.125
+
+    def test_base3_known_values(self):
+        assert radical_inverse(1, 3) == pytest.approx(1 / 3)
+        assert radical_inverse(2, 3) == pytest.approx(2 / 3)
+        assert radical_inverse(3, 3) == pytest.approx(1 / 9)
+
+    def test_zero_index(self):
+        assert radical_inverse(0, 2) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            radical_inverse(1, 1)
+        with pytest.raises(ValueError):
+            radical_inverse(-1, 2)
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=13))
+    def test_property_in_unit_interval(self, index, base):
+        assert 0.0 <= radical_inverse(index, base) < 1.0
+
+
+class TestHaltonSequence:
+    def test_shape(self):
+        assert halton_sequence(10, 5).shape == (10, 5)
+
+    def test_range(self):
+        points = halton_sequence(200, 3)
+        assert np.all((points >= 0.0) & (points < 1.0))
+
+    def test_skip_avoids_origin(self):
+        assert not np.allclose(halton_sequence(1, 2)[0], 0.0)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(halton_sequence(16, 4), halton_sequence(16, 4))
+
+    def test_low_discrepancy_beats_random_worst_gap(self):
+        # In 1-D the Halton (van der Corput) sequence fills [0,1) far more
+        # evenly than iid uniforms: its largest empirical CDF deviation is small.
+        n = 256
+        halton_points = np.sort(halton_sequence(n, 1)[:, 0])
+        uniform_grid = (np.arange(n) + 0.5) / n
+        halton_deviation = np.abs(halton_points - uniform_grid).max()
+        assert halton_deviation < 0.02
+
+    def test_column_means_near_half(self):
+        points = halton_sequence(512, 5)
+        np.testing.assert_allclose(points.mean(axis=0), 0.5, atol=0.05)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            halton_sequence(-1, 2)
+        with pytest.raises(ValueError):
+            halton_sequence(1, 0)
+        with pytest.raises(ValueError):
+            halton_sequence(1, 2, skip=-1)
+
+    def test_zero_points(self):
+        assert halton_sequence(0, 3).shape == (0, 3)
+
+
+class TestHaltonInBounds:
+    def test_within_bounds(self):
+        points = halton_in_bounds(100, HEAT2D_BOUNDS)
+        assert HEAT2D_BOUNDS.contains_all(points)
+
+    def test_scramble_requires_rng(self):
+        with pytest.raises(ValueError):
+            halton_in_bounds(10, HEAT2D_BOUNDS, scramble=True)
+
+    def test_scramble_changes_points_but_stays_in_bounds(self, rng):
+        plain = halton_in_bounds(50, HEAT2D_BOUNDS)
+        scrambled = halton_in_bounds(50, HEAT2D_BOUNDS, rng=rng, scramble=True)
+        assert not np.allclose(plain, scrambled)
+        assert HEAT2D_BOUNDS.contains_all(scrambled)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=64))
+    def test_property_all_points_in_bounds(self, n):
+        assert HEAT2D_BOUNDS.contains_all(halton_in_bounds(n, HEAT2D_BOUNDS))

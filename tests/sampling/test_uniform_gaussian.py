@@ -1,0 +1,149 @@
+"""Tests for uniform/LHS sampling and the Gaussian proposal machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.bounds import HEAT2D_BOUNDS, ParameterBounds
+from repro.sampling.gaussian import GaussianMixture, IsotropicGaussian, MultivariateNormal
+from repro.sampling.uniform import latin_hypercube_in_bounds, uniform_in_bounds
+
+
+class TestUniform:
+    def test_shape_and_bounds(self, rng):
+        points = uniform_in_bounds(200, HEAT2D_BOUNDS, rng)
+        assert points.shape == (200, 5)
+        assert HEAT2D_BOUNDS.contains_all(points)
+
+    def test_zero_points(self, rng):
+        assert uniform_in_bounds(0, HEAT2D_BOUNDS, rng).shape == (0, 5)
+
+    def test_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            uniform_in_bounds(-1, HEAT2D_BOUNDS, rng)
+
+    def test_mean_near_center(self, rng):
+        points = uniform_in_bounds(4000, HEAT2D_BOUNDS, rng)
+        np.testing.assert_allclose(points.mean(axis=0), HEAT2D_BOUNDS.center, rtol=0.03)
+
+
+class TestLatinHypercube:
+    def test_in_bounds(self, rng):
+        points = latin_hypercube_in_bounds(64, HEAT2D_BOUNDS, rng)
+        assert HEAT2D_BOUNDS.contains_all(points)
+
+    def test_stratification(self, rng):
+        bounds = ParameterBounds(low=(0.0,), high=(1.0,))
+        n = 32
+        points = latin_hypercube_in_bounds(n, bounds, rng)[:, 0]
+        # Exactly one point per stratum [k/n, (k+1)/n).
+        strata = np.floor(points * n).astype(int)
+        assert sorted(strata.tolist()) == list(range(n))
+
+    def test_zero_points(self, rng):
+        assert latin_hypercube_in_bounds(0, HEAT2D_BOUNDS, rng).shape == (0, 5)
+
+    def test_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            latin_hypercube_in_bounds(-2, HEAT2D_BOUNDS, rng)
+
+
+class TestMultivariateNormal:
+    def test_sampling_statistics(self, rng):
+        mean = np.array([1.0, -2.0])
+        cov = np.array([[2.0, 0.5], [0.5, 1.0]])
+        dist = MultivariateNormal(mean, cov)
+        samples = dist.sample(rng, size=20_000)
+        np.testing.assert_allclose(samples.mean(axis=0), mean, atol=0.05)
+        np.testing.assert_allclose(np.cov(samples.T), cov, atol=0.1)
+
+    def test_log_pdf_matches_scipy(self, rng):
+        from scipy.stats import multivariate_normal as scipy_mvn
+
+        mean = np.array([0.5, 1.5, -1.0])
+        cov = np.diag([1.0, 2.0, 0.5])
+        dist = MultivariateNormal(mean, cov)
+        points = rng.normal(size=(10, 3))
+        np.testing.assert_allclose(
+            dist.log_pdf(points), scipy_mvn(mean, cov).logpdf(points), rtol=1e-10
+        )
+
+    def test_rejects_bad_covariance_shape(self):
+        with pytest.raises(ValueError):
+            MultivariateNormal(np.zeros(2), np.zeros((3, 3)))
+
+    def test_rejects_non_positive_definite(self):
+        with pytest.raises(ValueError):
+            MultivariateNormal(np.zeros(2), np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+
+class TestIsotropicGaussian:
+    def test_sampling_statistics(self, rng):
+        dist = IsotropicGaussian(np.array([3.0, -1.0]), sigma=2.0)
+        samples = dist.sample(rng, size=20_000)
+        np.testing.assert_allclose(samples.mean(axis=0), [3.0, -1.0], atol=0.06)
+        np.testing.assert_allclose(samples.std(axis=0), [2.0, 2.0], atol=0.06)
+
+    def test_log_pdf_matches_full_covariance(self, rng):
+        mean = np.array([1.0, 2.0, 3.0])
+        iso = IsotropicGaussian(mean, sigma=1.7)
+        full = MultivariateNormal(mean, (1.7**2) * np.eye(3))
+        points = rng.normal(size=(8, 3))
+        np.testing.assert_allclose(iso.log_pdf(points), full.log_pdf(points), rtol=1e-10)
+
+    def test_sample_one_shape(self, rng):
+        assert IsotropicGaussian(np.zeros(5), 1.0).sample_one(rng).shape == (5,)
+
+    def test_with_sigma(self):
+        dist = IsotropicGaussian(np.zeros(2), 1.0).with_sigma(3.0)
+        assert dist.sigma == 3.0
+
+    def test_rejects_non_positive_sigma(self):
+        with pytest.raises(ValueError):
+            IsotropicGaussian(np.zeros(2), 0.0)
+
+
+class TestGaussianMixture:
+    def test_pdf_integrates_to_components_average(self, rng):
+        components = [IsotropicGaussian(np.array([0.0]), 1.0), IsotropicGaussian(np.array([5.0]), 1.0)]
+        mixture = GaussianMixture(components)
+        # pdf at a point = average of component pdfs (equal weights).
+        point = np.array([[0.0]])
+        expected = 0.5 * (components[0].pdf(point) + components[1].pdf(point))
+        np.testing.assert_allclose(mixture.pdf(point), expected)
+
+    def test_sampling_covers_both_modes(self, rng):
+        mixture = GaussianMixture(
+            [IsotropicGaussian(np.array([0.0]), 0.5), IsotropicGaussian(np.array([10.0]), 0.5)]
+        )
+        samples = mixture.sample(rng, size=2000)[:, 0]
+        assert (samples < 5).sum() > 500
+        assert (samples > 5).sum() > 500
+
+    def test_custom_weights(self, rng):
+        mixture = GaussianMixture(
+            [IsotropicGaussian(np.array([0.0]), 0.5), IsotropicGaussian(np.array([10.0]), 0.5)],
+            weights=[0.9, 0.1],
+        )
+        samples = mixture.sample(rng, size=5000)[:, 0]
+        assert (samples < 5).mean() == pytest.approx(0.9, abs=0.03)
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMixture([])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMixture([IsotropicGaussian(np.zeros(2), 1.0), IsotropicGaussian(np.zeros(3), 1.0)])
+
+    def test_invalid_weights_rejected(self):
+        comps = [IsotropicGaussian(np.zeros(1), 1.0)]
+        with pytest.raises(ValueError):
+            GaussianMixture(comps, weights=[-1.0])
+        with pytest.raises(ValueError):
+            GaussianMixture(comps, weights=[0.5, 0.5])
+
+    def test_log_pdf_finite_far_from_modes(self):
+        mixture = GaussianMixture([IsotropicGaussian(np.zeros(1), 0.1)])
+        assert np.isfinite(mixture.log_pdf(np.array([[100.0]])))[0]

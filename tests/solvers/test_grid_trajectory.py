@@ -1,0 +1,113 @@
+"""Tests for grids and trajectory containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.grid import Grid1D, Grid2D
+from repro.solvers.trajectory import TimeStepSample, Trajectory
+
+
+class TestGrid1D:
+    def test_spacing_and_coordinates(self):
+        grid = Grid1D(n_points=5, length=2.0)
+        assert grid.dx == pytest.approx(0.5)
+        np.testing.assert_allclose(grid.coordinates, [0.0, 0.5, 1.0, 1.5, 2.0])
+        assert grid.n_interior == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid1D(n_points=2)
+        with pytest.raises(ValueError):
+            Grid1D(n_points=5, length=0.0)
+
+
+class TestGrid2D:
+    def test_basic_properties(self):
+        grid = Grid2D(n=4, length=3.0)
+        assert grid.shape == (4, 4)
+        assert grid.n_total == 16
+        assert grid.n_interior == 4
+        assert grid.dx == pytest.approx(1.0)
+
+    def test_coordinates_meshgrid(self):
+        grid = Grid2D(n=3)
+        x1, x2 = grid.coordinates
+        assert x1.shape == (3, 3)
+        assert x1[0, 0] == 0.0 and x1[-1, 0] == 1.0
+        assert x2[0, -1] == 1.0
+
+    def test_interior_boundary_masks_are_complementary(self):
+        grid = Grid2D(n=5)
+        interior = grid.interior_index()
+        boundary = grid.boundary_index()
+        assert interior.sum() == 9
+        assert np.all(interior ^ boundary)
+
+    def test_flatten_unflatten_roundtrip(self, rng):
+        grid = Grid2D(n=6)
+        field = rng.normal(size=(6, 6))
+        np.testing.assert_array_equal(grid.unflatten_field(grid.flatten_field(field)), field)
+
+    def test_flatten_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            Grid2D(n=4).flatten_field(np.zeros((3, 3)))
+
+    def test_unflatten_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            Grid2D(n=4).unflatten_field(np.zeros(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Grid2D(n=2)
+        with pytest.raises(ValueError):
+            Grid2D(n=4, length=-1.0)
+
+
+class TestTimeStepSample:
+    def test_flattening_and_key(self):
+        sample = TimeStepSample(3, [1.0, 2.0], 7, np.ones((2, 2)))
+        assert sample.field.shape == (4,)
+        assert sample.key == (3, 7)
+        assert sample.parameters.dtype == np.float64
+
+
+class TestTrajectory:
+    def test_append_and_iterate(self):
+        traj = Trajectory(simulation_id=1, parameters=np.array([1.0]))
+        traj.append(0, np.zeros(4))
+        traj.append(1, np.ones(4))
+        assert len(traj) == 2
+        samples = list(traj)
+        assert samples[0].timestep == 0 and samples[1].timestep == 1
+        assert all(s.simulation_id == 1 for s in samples)
+
+    def test_append_enforces_increasing_timesteps(self):
+        traj = Trajectory(simulation_id=0, parameters=np.array([1.0]))
+        traj.append(0, np.zeros(2))
+        with pytest.raises(ValueError):
+            traj.append(0, np.zeros(2))
+
+    def test_as_array(self):
+        traj = Trajectory(simulation_id=0, parameters=np.array([1.0]))
+        traj.append(0, np.zeros(3))
+        traj.append(1, np.ones(3))
+        assert traj.as_array().shape == (2, 3)
+
+    def test_as_array_empty(self):
+        assert Trajectory(0, np.array([1.0])).as_array().size == 0
+
+    def test_sample_at(self):
+        traj = Trajectory(simulation_id=0, parameters=np.array([1.0]))
+        traj.append(0, np.zeros(2))
+        traj.append(3, np.ones(2))
+        assert traj.sample_at(3) is not None
+        assert traj.sample_at(2) is None
+
+    def test_final_field(self):
+        traj = Trajectory(simulation_id=0, parameters=np.array([1.0]))
+        with pytest.raises(ValueError):
+            _ = traj.final_field
+        traj.append(0, np.full(2, 7.0))
+        np.testing.assert_array_equal(traj.final_field, [7.0, 7.0])

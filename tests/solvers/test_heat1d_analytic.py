@@ -1,0 +1,117 @@
+"""Tests for the 1-D solver and the analytic reference solutions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.analytic import laplace_edge_series, steady_state_2d, transient_1d
+from repro.solvers.heat1d import Heat1DConfig, Heat1DImplicitSolver
+
+
+class TestHeat1DConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Heat1DConfig(n_points=2)
+        with pytest.raises(ValueError):
+            Heat1DConfig(dt=-1.0)
+        with pytest.raises(ValueError):
+            Heat1DConfig(n_timesteps=0)
+
+
+class TestHeat1DImplicitSolver:
+    @pytest.fixture(scope="class")
+    def solver(self):
+        return Heat1DImplicitSolver(Heat1DConfig(n_points=32, n_timesteps=40, dt=0.005))
+
+    def test_sizes(self, solver):
+        assert solver.field_size == 32
+        assert solver.parameter_dim == 3
+
+    def test_trajectory_length(self, solver):
+        assert len(solver.solve([300.0, 100.0, 500.0])) == 41
+
+    def test_boundary_values_fixed(self, solver):
+        traj = solver.solve([300.0, 100.0, 500.0]).as_array()
+        np.testing.assert_allclose(traj[:, 0], 100.0)
+        np.testing.assert_allclose(traj[:, -1], 500.0)
+
+    def test_constant_state_is_stationary(self, solver):
+        traj = solver.solve([250.0, 250.0, 250.0])
+        np.testing.assert_allclose(traj.final_field, 250.0, rtol=1e-12)
+
+    def test_maximum_principle(self, solver):
+        fields = solver.solve([450.0, 120.0, 480.0]).as_array()
+        assert fields.min() >= 120.0 - 1e-9
+        assert fields.max() <= 480.0 + 1e-9
+
+    def test_long_run_converges_to_linear_profile(self):
+        solver = Heat1DImplicitSolver(Heat1DConfig(n_points=32, n_timesteps=2000, dt=0.01))
+        params = [300.0, 100.0, 500.0]
+        final = solver.solve(params).final_field
+        np.testing.assert_allclose(final, solver.steady_state(params), atol=0.5)
+
+    def test_matches_analytic_transient(self):
+        config = Heat1DConfig(n_points=64, n_timesteps=50, dt=0.001)
+        solver = Heat1DImplicitSolver(config)
+        params = [400.0, 100.0, 200.0]
+        numeric = solver.solve(params).final_field
+        analytic = transient_1d(
+            config.grid.coordinates,
+            t=config.n_timesteps * config.dt,
+            t0=400.0,
+            t_left=100.0,
+            t_right=200.0,
+        )
+        # Interior comparison (backward Euler is first-order accurate in time).
+        assert np.abs(numeric[1:-1] - analytic[1:-1]).max() < 5.0
+
+
+class TestLaplaceEdgeSeries:
+    def test_hot_edge_value(self):
+        x2 = np.linspace(0.0, 1.0, 101)
+        x1 = np.zeros_like(x2)
+        u = laplace_edge_series(x1, x2, 100.0, n_modes=801)
+        # On the hot edge (excluding corners) the series converges to the edge value.
+        assert np.abs(u[10:-10] - 100.0).max() < 2.0
+
+    def test_opposite_edge_is_cold(self):
+        x2 = np.linspace(0.0, 1.0, 21)
+        x1 = np.ones_like(x2)
+        u = laplace_edge_series(x1, x2, 100.0)
+        np.testing.assert_allclose(u, 0.0, atol=1e-8)
+
+    def test_interior_bounded_by_edge_value(self):
+        grid = np.linspace(0.05, 0.95, 10)
+        x1, x2 = np.meshgrid(grid, grid, indexing="ij")
+        u = laplace_edge_series(x1, x2, 100.0)
+        assert np.all(u >= -1e-6) and np.all(u <= 100.0 + 1e-6)
+
+
+class TestSteadyState2D:
+    def test_equal_boundaries_give_constant_field(self):
+        grid = np.linspace(0.0, 1.0, 17)
+        x1, x2 = np.meshgrid(grid, grid, indexing="ij")
+        u = steady_state_2d((x1, x2), 300.0, 300.0, 300.0, 300.0, n_modes=301)
+        interior = u[2:-2, 2:-2]
+        np.testing.assert_allclose(interior, 300.0, atol=1.0)
+
+    def test_center_value_is_boundary_average(self):
+        grid = np.linspace(0.0, 1.0, 41)
+        x1, x2 = np.meshgrid(grid, grid, indexing="ij")
+        u = steady_state_2d((x1, x2), 100.0, 500.0, 200.0, 400.0, n_modes=301)
+        # By symmetry of the Laplace problem, the centre equals the average.
+        assert u[20, 20] == pytest.approx(300.0, abs=1.0)
+
+
+class TestTransient1D:
+    def test_t_zero_recovers_initial_condition(self):
+        x = np.linspace(0.0, 1.0, 201)
+        u = transient_1d(x, t=0.0, t0=350.0, t_left=100.0, t_right=500.0, n_modes=2000)
+        interior = slice(5, -5)
+        np.testing.assert_allclose(u[interior], 350.0, atol=5.0)
+
+    def test_long_time_is_linear_profile(self):
+        x = np.linspace(0.0, 1.0, 51)
+        u = transient_1d(x, t=10.0, t0=350.0, t_left=100.0, t_right=500.0)
+        np.testing.assert_allclose(u, 100.0 + 400.0 * x, atol=1e-6)

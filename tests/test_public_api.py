@@ -1,0 +1,56 @@
+"""Public-API smoke tests: every documented export resolves and is importable."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.nn",
+    "repro.solvers",
+    "repro.sampling",
+    "repro.melissa",
+    "repro.breed",
+    "repro.surrogate",
+    "repro.workflow",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_imports(package_name):
+    module = importlib.import_module(package_name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        assert hasattr(module, name), f"{package_name}.__all__ lists missing attribute {name!r}"
+
+
+def test_top_level_convenience_exports():
+    import repro
+
+    assert repro.__version__
+    assert callable(repro.run_online_training)
+    assert repro.OnlineTrainingConfig is not None
+    assert repro.OnlineTrainingResult is not None
+
+
+def test_examples_are_syntactically_valid():
+    """Every example script must at least compile (full runs are exercised manually)."""
+    import pathlib
+    import py_compile
+
+    examples_dir = pathlib.Path(__file__).resolve().parents[1] / "examples"
+    scripts = sorted(examples_dir.glob("*.py"))
+    assert len(scripts) >= 3, "the repository must ship at least three examples"
+    for script in scripts:
+        py_compile.compile(str(script), doraise=True)

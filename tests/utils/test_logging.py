@@ -1,0 +1,59 @@
+"""Tests for the structured event log."""
+
+from __future__ import annotations
+
+from repro.utils.logging import EventLog, LogRecord, get_logger
+
+
+class TestEventLog:
+    def test_emit_and_len(self):
+        log = EventLog()
+        log.emit("server", "validation", step=10, loss=0.5)
+        assert len(log) == 1
+
+    def test_record_payload_access(self):
+        log = EventLog()
+        record = log.emit("server", "validation", loss=0.25)
+        assert record["loss"] == 0.25
+        assert record.source == "server"
+
+    def test_filter_by_source_and_event(self):
+        log = EventLog()
+        log.emit("launcher", "submitted", simulation_id=1)
+        log.emit("launcher", "started", simulation_id=1)
+        log.emit("server", "validation", loss=0.1)
+        assert len(log.filter(source="launcher")) == 2
+        assert len(log.filter(event="validation")) == 1
+        assert len(log.filter(source="launcher", event="started")) == 1
+
+    def test_last_returns_most_recent(self):
+        log = EventLog()
+        log.emit("server", "validation", loss=1.0)
+        log.emit("server", "validation", loss=0.5)
+        last = log.last("validation")
+        assert last is not None and last["loss"] == 0.5
+
+    def test_last_missing_event(self):
+        assert EventLog().last("nothing") is None
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit("a", "b")
+        log.clear()
+        assert len(log) == 0
+
+    def test_iteration(self):
+        log = EventLog()
+        log.emit("a", "x")
+        log.emit("a", "y")
+        assert [r.event for r in log] == ["x", "y"]
+
+
+def test_get_logger_namespacing():
+    assert get_logger("server").name == "repro.server"
+
+
+def test_log_record_defaults():
+    record = LogRecord(source="s", event="e")
+    assert record.payload == {}
+    assert record.step is None

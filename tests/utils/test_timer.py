@@ -1,0 +1,61 @@
+"""Tests for the timing utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.timer import Timer, TimerRegistry, timed
+
+
+class TestTimer:
+    def test_span_accumulates(self):
+        timer = Timer(name="t")
+        with timer.span():
+            pass
+        with timer.span():
+            pass
+        assert timer.count == 2
+        assert timer.total >= 0.0
+        assert timer.mean == pytest.approx(timer.total / 2)
+
+    def test_double_start_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_mean_zero_without_spans(self):
+        assert Timer().mean == 0.0
+
+
+class TestTimerRegistry:
+    def test_get_creates_named_timer(self):
+        registry = TimerRegistry()
+        assert registry.get("train") is registry.get("train")
+
+    def test_span_records(self):
+        registry = TimerRegistry()
+        with registry.span("phase"):
+            pass
+        assert registry.get("phase").count == 1
+
+    def test_summary_lines(self):
+        registry = TimerRegistry()
+        with registry.span("b"):
+            pass
+        with registry.span("a"):
+            pass
+        lines = registry.summary()
+        assert len(lines) == 2
+        assert lines[0].startswith("a")  # sorted by name
+
+
+def test_timed_context_manager():
+    with timed() as t:
+        pass
+    assert t.count == 1
+    assert t.total >= 0.0

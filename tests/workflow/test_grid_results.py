@@ -1,0 +1,112 @@
+"""Tests for configuration grids and study result records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow.grid import ParameterGrid, one_factor_at_a_time
+from repro.workflow.results import RunResult, StudyResults
+
+
+class TestParameterGrid:
+    def test_cartesian_product(self):
+        grid = ParameterGrid(base={"seed": 0}, axes={"H": [16, 32], "L": [1, 2, 3]})
+        configs = grid.configurations()
+        assert len(grid) == 6 and len(configs) == 6
+        assert all(c["seed"] == 0 for c in configs)
+        assert {(c["H"], c["L"]) for c in configs} == {(h, l) for h in (16, 32) for l in (1, 2, 3)}
+
+    def test_empty_axes_single_config(self):
+        grid = ParameterGrid(base={"x": 1})
+        assert grid.configurations() == [{"x": 1}]
+
+    def test_axis_conflicts_with_base(self):
+        with pytest.raises(ValueError):
+            ParameterGrid(base={"H": 16}, axes={"H": [16, 32]})
+
+    def test_empty_axis_values(self):
+        with pytest.raises(ValueError):
+            ParameterGrid(axes={"H": []})
+
+    def test_with_base(self):
+        grid = ParameterGrid(axes={"H": [1]}).with_base(seed=3)
+        assert grid.configurations()[0]["seed"] == 3
+
+
+class TestOneFactorAtATime:
+    def test_expansion_and_tags(self):
+        configs = one_factor_at_a_time(
+            base={"sigma": 5.0, "period": 200},
+            factors={"sigma": [1.0, 10.0], "period": [100, 300, 500]},
+        )
+        assert len(configs) == 5
+        sigma_configs = [c for c in configs if c["_factor"] == "sigma"]
+        assert len(sigma_configs) == 2
+        assert all(c["period"] == 200 for c in sigma_configs)
+        assert [c["_value"] for c in sigma_configs] == [1.0, 10.0]
+
+    def test_unknown_factor(self):
+        with pytest.raises(KeyError):
+            one_factor_at_a_time(base={"sigma": 5.0}, factors={"window": [1]})
+
+    def test_empty_values(self):
+        with pytest.raises(ValueError):
+            one_factor_at_a_time(base={"sigma": 5.0}, factors={"sigma": []})
+
+
+class TestRunResult:
+    def test_metric_access(self):
+        run = RunResult(name="r", config={"H": 16}, metrics={"loss": 0.5})
+        assert run.metric("loss") == 0.5
+        assert run.metric("missing") != run.metric("missing")  # NaN
+
+    def test_to_dict_jsonable(self):
+        import numpy as np
+
+        run = RunResult(
+            name="r",
+            config={"H": np.int64(16)},
+            metrics={"loss": np.float64(0.5)},
+            series={"curve": [np.float64(1.0)]},
+        )
+        payload = run.to_dict()
+        assert isinstance(payload["config"]["H"], int)
+        assert isinstance(payload["metrics"]["loss"], float)
+
+
+class TestStudyResults:
+    def _results(self):
+        results = StudyResults(study="demo")
+        results.add(RunResult("a", {"H": 16, "method": "breed"}, {"loss": 0.3}))
+        results.add(RunResult("b", {"H": 32, "method": "breed"}, {"loss": 0.1}))
+        results.add(RunResult("c", {"H": 16, "method": "random"}, {"loss": 0.2}))
+        return results
+
+    def test_len_iter(self):
+        results = self._results()
+        assert len(results) == 3
+        assert len(list(results)) == 3
+
+    def test_filter(self):
+        results = self._results()
+        assert len(results.filter(H=16)) == 2
+        assert len(results.filter(H=16, method="random")) == 1
+
+    def test_best(self):
+        results = self._results()
+        assert results.best("loss").name == "b"
+        assert results.best("loss", minimize=False).name == "a"
+        assert StudyResults("empty").best("loss") is None
+
+    def test_table_rendering(self):
+        table = self._results().table(columns=["H", "method"], metric_columns=["loss"])
+        assert "loss" in table.splitlines()[0]
+        assert len(table.splitlines()) == 5  # header + separator + 3 rows
+
+    def test_json_roundtrip(self, tmp_path):
+        results = self._results()
+        path = results.save_json(tmp_path / "study.json")
+        loaded = StudyResults.load_json(path)
+        assert loaded.study == "demo"
+        assert len(loaded) == 3
+        assert loaded.best("loss").name == "b"
