@@ -14,12 +14,13 @@ import pytest
 from benchmarks.conftest import emit
 from repro import nn
 from repro.analysis.report import format_table
+from repro.api.workloads import Heat2DWorkload
 from repro.breed.acquisition import LossDeviationTracker
 from repro.breed.amis import AMISConfig, AdaptiveImportanceSampler
 from repro.nn.tensor import Tensor
 from repro.sampling.bounds import HEAT2D_BOUNDS
-from repro.surrogate.model import DirectSurrogate, SurrogateConfig
-from repro.surrogate.normalization import SurrogateScalers
+from repro.solvers.heat2d import Heat2DConfig
+from repro.surrogate.model import DirectSurrogate
 
 
 @pytest.mark.benchmark(group="training")
@@ -27,10 +28,10 @@ from repro.surrogate.normalization import SurrogateScalers
 def test_training_step(benchmark, hidden, layers):
     """One Adam step on the paper's surrogate (batch 128, output 64x64)."""
     rng = np.random.default_rng(0)
-    scalers = SurrogateScalers.for_heat2d(HEAT2D_BOUNDS, n_timesteps=100)
+    workload = Heat2DWorkload(heat=Heat2DConfig(grid_size=64, n_timesteps=100))
     model = DirectSurrogate(
-        SurrogateConfig(output_dim=64 * 64, hidden_size=hidden, n_hidden_layers=layers),
-        scalers,
+        workload.surrogate_config(hidden_size=hidden, n_hidden_layers=layers, activation="relu"),
+        workload.build_scalers(),
         rng=rng,
     )
     optimizer = nn.Adam(model.parameters(), lr=1e-3)

@@ -22,11 +22,8 @@ from dataclasses import replace
 from repro.analysis.curves import curve_from_history
 from repro.analysis.deviation import compare_runs
 from repro.analysis.report import render_histograms, render_loss_curves
-from repro.experiments.base import base_config
+from repro.experiments.base import base_config, shared_study_inputs
 from repro.melissa.run import run_online_training
-from repro.solvers.heat2d import Heat2DImplicitSolver
-from repro.surrogate.normalization import SurrogateScalers
-from repro.surrogate.validation import build_validation_set
 
 
 def main() -> None:
@@ -47,11 +44,7 @@ def main() -> None:
     random_config = replace(breed_config, method="random")
 
     # Shared solver + fixed validation set, exactly like the paper's studies.
-    solver = Heat2DImplicitSolver(breed_config.heat)
-    scalers = SurrogateScalers.for_heat2d(breed_config.bounds, breed_config.heat.n_timesteps)
-    validation = build_validation_set(
-        solver, breed_config.bounds, scalers, breed_config.n_validation_trajectories
-    )
+    _, solver, validation = shared_study_inputs(breed_config)
 
     print(f"Running Random baseline (H={args.hidden_size}, L={args.layers})...")
     random_run = run_online_training(random_config, solver=solver, validation_set=validation)

@@ -21,8 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro import nn
+from repro.api import OnlineTrainingConfig
+from repro.api.workloads import Heat2DWorkload
 from repro.breed.samplers import BreedConfig
-from repro.melissa.run import OnlineTrainingConfig, run_online_training
+from repro.melissa.run import run_online_training
 from repro.nn.tensor import Tensor
 from repro.sampling.bounds import HEAT2D_BOUNDS
 from repro.sampling.uniform import uniform_in_bounds
@@ -72,9 +74,10 @@ def train_offline(
 def main() -> None:
     heat = Heat2DConfig(grid_size=10, n_timesteps=15)
     n_simulations = 48
-    solver = Heat2DImplicitSolver(heat)
-    scalers = SurrogateScalers.for_heat2d(HEAT2D_BOUNDS, heat.n_timesteps)
-    validation = build_validation_set(solver, HEAT2D_BOUNDS, scalers, n_trajectories=8)
+    workload = Heat2DWorkload(heat=heat)
+    solver = workload.build_solver()
+    scalers = workload.build_scalers()
+    validation = build_validation_set(solver, workload.bounds, scalers, n_trajectories=8)
 
     # --- off-line pipeline -------------------------------------------------
     print("Off-line pipeline: generate dataset -> store -> epoch-based training")

@@ -4,10 +4,14 @@
 This is the smallest end-to-end use of the public API:
 
 1. configure a scaled-down 2D heat problem and a small MLP surrogate,
-2. run on-line training with Breed steering (solver clients stream data into
-   the reservoir while the NN trains and steers future simulations),
+2. run a :class:`repro.api.TrainingSession` with Breed steering (solver
+   clients stream data into the reservoir while the NN trains and steers
+   future simulations), watching progress through a validation hook,
 3. compare the surrogate's prediction against the solver on an unseen
    parameter vector.
+
+The legacy one-call entry point ``repro.run_online_training(config)`` remains
+equivalent to building the session and calling ``session.run()``.
 
 Run with::
 
@@ -18,9 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import OnlineTrainingConfig, TrainingSession
 from repro.breed.samplers import BreedConfig
-from repro.melissa.run import OnlineTrainingConfig, run_online_training
-from repro.solvers.heat2d import Heat2DConfig, Heat2DImplicitSolver
+from repro.solvers.heat2d import Heat2DConfig
 
 
 def main() -> None:
@@ -44,8 +48,14 @@ def main() -> None:
     )
 
     print("Running on-line training (Breed steering)...")
-    result = run_online_training(config)
+    session = TrainingSession(config)
+    session.add_hook(
+        "validation",
+        lambda s, iteration, loss: print(f"  [iter {iteration:4d}] validation MSE {loss:.5f}"),
+    )
+    result = session.run()
 
+    print(f"  workload              : {result.workload}")
     print(f"  method                : {result.method}")
     print(f"  NN iterations         : {result.history.train_iterations[-1]}")
     print(f"  final train MSE       : {result.final_train_loss:.5f}")
@@ -55,7 +65,7 @@ def main() -> None:
     print(f"  steering wall-clock   : {result.steering_seconds * 1e3:.2f} ms")
 
     # --- use the trained surrogate --------------------------------------
-    solver = Heat2DImplicitSolver(config.heat)
+    solver = session.solver  # the workload's solver, already built
     unseen_parameters = np.array([450.0, 120.0, 480.0, 130.0, 470.0])
     timestep = config.heat.n_timesteps  # final time step
 

@@ -4,6 +4,16 @@ Supervised Training of Multi-parametric Surrogates with Active Learning"
 
 Package layout
 --------------
+``repro.api``
+    The public on-line training surface: the :class:`~repro.api.workloads.Workload`
+    protocol (solver + parameter bounds + scalers + surrogate geometry) with
+    registered ``"heat2d"`` / ``"heat1d"`` / ``"analytic"`` scenarios, the
+    serialisable :class:`~repro.api.config.OnlineTrainingConfig`
+    (``to_dict``/``from_dict``), the phase-decomposed
+    :class:`~repro.api.session.TrainingSession` (``submit`` → ``produce`` →
+    ``receive`` → ``train`` with ``on_tick``/``on_steering``/``on_validation``
+    hooks), and the ``register_workload`` / ``register_sampler`` /
+    ``register_activation`` extension registries.
 ``repro.nn``
     NumPy reverse-mode autograd engine, dense layers, losses, optimizers
     (the PyTorch substitute).
@@ -15,7 +25,9 @@ Package layout
     weighted resampling.
 ``repro.melissa``
     In-process simulation of the Melissa DL on-line training framework
-    (launcher, batch scheduler, clients, reservoir, server, steering).
+    (launcher, batch scheduler, clients, reservoir, server, steering);
+    ``repro.melissa.run`` re-exports the legacy ``run_online_training``
+    entry point as a thin wrapper over ``repro.api``.
 ``repro.breed``
     The paper's contribution: loss-deviation acquisition metric, one-step
     AMIS/PMC proposal construction, concentrate–explore mixing, and the
@@ -32,13 +44,31 @@ Package layout
     One module per paper table/figure, reproducing its rows/series.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from repro.melissa.run import OnlineTrainingConfig, OnlineTrainingResult, run_online_training
+from repro.melissa.run import (
+    OnlineTrainingConfig,
+    OnlineTrainingResult,
+    TrainingSession,
+    run_online_training,
+)
+from repro.api import (
+    Workload,
+    register_activation,
+    register_sampler,
+    register_workload,
+    workload_names,
+)
 
 __all__ = [
     "__version__",
     "OnlineTrainingConfig",
     "OnlineTrainingResult",
+    "TrainingSession",
     "run_online_training",
+    "Workload",
+    "register_activation",
+    "register_sampler",
+    "register_workload",
+    "workload_names",
 ]

@@ -1,0 +1,356 @@
+"""The on-line training session: explicit phases over pluggable workloads.
+
+:class:`TrainingSession` decomposes the previously monolithic driver loop of
+:func:`repro.melissa.run.run_online_training` into named phases that mirror
+the asynchronous components of the real Melissa system:
+
+* :meth:`submit` — the launcher keeps the batch scheduler fed with at most
+  ``m`` client jobs,
+* :meth:`produce` — each running client streams a bounded number of time
+  steps per tick (volume-accounted through the transport),
+* :meth:`receive` — pending messages are drained into the reservoir while it
+  accepts them,
+* :meth:`train` — once the reservoir watermark is reached, a configurable
+  number of NN iterations run per tick; each may trigger a Breed steering,
+* :meth:`should_stop` — the termination predicate.
+
+:meth:`tick` runs one submit→produce→receive→train round, :meth:`run` loops
+until termination and returns the :class:`OnlineTrainingResult`.  Observers
+subscribe through the hook lists :attr:`on_tick`, :attr:`on_steering` and
+:attr:`on_validation` instead of patching the loop.
+
+The session is workload-agnostic: every scenario dependency (solver, bounds,
+scalers, surrogate geometry) comes from the :class:`~repro.api.workloads.Workload`
+resolved from ``config.workload``.  For ``workload="heat2d"`` the training
+behaviour — RNG streams, losses, executed parameters, tick counts, transport
+byte/message totals — is bit-for-bit identical to the historic monolithic
+loop.  (One deliberate exception: the data channel's ``max_depth`` statistic
+no longer counts the artificial ``put``/``get`` round-trip the old loop
+performed per message, so it reports 0 instead of 1.)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.api.config import OnlineTrainingConfig
+from repro.api.workloads import Workload
+from repro.breed.controller import BreedController, SteeringRecord
+from repro.breed.samplers import ParameterSource
+from repro.melissa.client import ClientFactory
+from repro.melissa.launcher import Launcher
+from repro.melissa.messages import TimeStepMessage
+from repro.melissa.reservoir import Reservoir
+from repro.melissa.scheduler import BatchScheduler
+from repro.melissa.server import TrainingHistory, TrainingServer
+from repro.melissa.transport import InProcessTransport
+from repro.nn.optim import Adam
+from repro.solvers.base import Solver
+from repro.surrogate.model import DirectSurrogate
+from repro.surrogate.validation import ValidationSet, build_validation_set
+from repro.utils.logging import EventLog
+from repro.utils.rng import RngStreams
+
+__all__ = ["OnlineTrainingResult", "TrainingSession"]
+
+#: hook signatures (session, …) — see :meth:`TrainingSession.add_hook`
+TickHook = Callable[["TrainingSession"], None]
+SteeringHook = Callable[["TrainingSession", SteeringRecord], None]
+ValidationHook = Callable[["TrainingSession", int, float], None]
+
+
+@dataclass
+class OnlineTrainingResult:
+    """Everything produced by one on-line training run."""
+
+    config: OnlineTrainingConfig
+    method: str
+    history: TrainingHistory
+    model: DirectSurrogate
+    executed_parameters: np.ndarray
+    parameter_sources: List[str]
+    steering_records: List[SteeringRecord]
+    launcher_summary: Dict[str, int]
+    reservoir_summary: Dict[str, float]
+    server_summary: Dict[str, float]
+    transport_bytes: int
+    n_ticks: int
+    steering_seconds: float
+    workload: str = "heat2d"
+
+    @property
+    def final_validation_loss(self) -> float:
+        return self.history.final_validation_loss()
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.history.final_train_loss()
+
+    @property
+    def overfit_gap(self) -> float:
+        """validation − train loss at the end of the run (positive ⇒ overfitting)."""
+        return self.final_validation_loss - self.final_train_loss
+
+    def uniform_fraction(self) -> float:
+        """Fraction of executed parameter vectors that came from a uniform draw."""
+        if not self.parameter_sources:
+            return float("nan")
+        uniform = sum(
+            1
+            for s in self.parameter_sources
+            if s in (ParameterSource.INITIAL_UNIFORM, ParameterSource.MIX_UNIFORM)
+        )
+        return uniform / len(self.parameter_sources)
+
+
+class TrainingSession:
+    """One on-line training run, decomposed into explicit phases.
+
+    Parameters
+    ----------
+    config:
+        The run configuration; ``config.workload`` selects the scenario.
+    workload:
+        Optional pre-built workload (overrides the registry lookup, e.g. for
+        ad-hoc scenarios that are not registered).
+    solver:
+        Optional pre-built solver (sharing one across runs avoids re-factorising
+        the implicit system when sweeping hyper-parameters).
+    validation_set:
+        Optional pre-built validation set (reusable across runs of a study
+        since the paper keeps it fixed).
+    event_log:
+        Optional structured event log for debugging / tests.
+    """
+
+    def __init__(
+        self,
+        config: OnlineTrainingConfig,
+        workload: Optional[Workload] = None,
+        solver: Optional[Solver] = None,
+        validation_set: Optional[ValidationSet] = None,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        self.config = config
+        self.event_log = event_log
+        self.streams = RngStreams(config.seed)
+        # Report the registry key the run was configured with; fall back to
+        # the class-level name only for injected ad-hoc workload objects.
+        self.workload_name = workload.name if workload is not None else config.workload
+        self.workload = workload if workload is not None else config.build_workload()
+        self.solver = solver if solver is not None else self.workload.build_solver()
+        self.scalers = self.workload.build_scalers()
+
+        # --- validation set (fixed, Halton-sequence parameters) -----------
+        if validation_set is None and config.n_validation_trajectories > 0:
+            validation_set = build_validation_set(
+                solver=self.solver,
+                bounds=self.workload.bounds,
+                scalers=self.scalers,
+                n_trajectories=config.n_validation_trajectories,
+            )
+        self.validation_set = validation_set
+
+        # --- model / optimizer --------------------------------------------
+        self.model = DirectSurrogate(
+            self.workload.surrogate_config(
+                hidden_size=config.hidden_size,
+                n_hidden_layers=config.n_hidden_layers,
+                activation=config.activation,
+            ),
+            self.scalers,
+            rng=self.streams.get("model_init"),
+        )
+        self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+
+        # --- steering ------------------------------------------------------
+        self.sampler = config.build_sampler(self.workload)
+        self.controller = BreedController(
+            sampler=self.sampler, rng=self.streams.get("breed"), event_log=event_log
+        )
+
+        # --- framework ------------------------------------------------------
+        initial_parameters = self.sampler.initial_parameters(
+            config.n_simulations, self.streams.get("initial_sampling")
+        )
+        self.scheduler = BatchScheduler(
+            job_limit=config.job_limit,
+            rng=self.streams.get("scheduler"),
+            max_start_delay=config.scheduler_max_start_delay,
+        )
+        self.client_factory = ClientFactory(solver=self.solver)
+        self.launcher = Launcher(
+            initial_parameters=initial_parameters,
+            client_factory=self.client_factory,
+            scheduler=self.scheduler,
+            event_log=event_log,
+        )
+        self.reservoir = Reservoir(
+            capacity=config.reservoir_capacity,
+            watermark=min(config.reservoir_watermark, config.reservoir_capacity),
+            rng=self.streams.get("reservoir"),
+        )
+        self.transport = InProcessTransport()
+        self.server = TrainingServer(
+            model=self.model,
+            optimizer=self.optimizer,
+            reservoir=self.reservoir,
+            controller=self.controller,
+            batch_size=config.batch_size,
+            validation_set=self.validation_set,
+            validation_period=config.validation_period,
+            record_sample_statistics=config.record_sample_statistics,
+            event_log=event_log,
+        )
+
+        self.pending_messages: Deque[TimeStepMessage] = deque()
+        self.n_ticks = 0
+        self._finalized = False
+
+        # --- hooks ----------------------------------------------------------
+        #: called after every completed tick with the session
+        self.on_tick: List[TickHook] = []
+        #: called with every new :class:`SteeringRecord` as it is applied
+        self.on_steering: List[SteeringHook] = []
+        #: called with ``(session, iteration, loss)`` for every validation point
+        self.on_validation: List[ValidationHook] = []
+
+    # ----------------------------------------------------------------- hooks
+    def add_hook(self, event: str, callback: Callable) -> Callable:
+        """Subscribe ``callback`` to ``"tick"``, ``"steering"`` or ``"validation"``."""
+        hooks = {"tick": self.on_tick, "steering": self.on_steering, "validation": self.on_validation}
+        if event not in hooks:
+            raise KeyError(f"unknown hook event {event!r}; available: {sorted(hooks)}")
+        hooks[event].append(callback)
+        return callback
+
+    def _fire_validation(self, since: int) -> None:
+        history = self.server.history
+        for index in range(since, len(history.validation_losses)):
+            for hook in self.on_validation:
+                hook(self, history.validation_iterations[index], history.validation_losses[index])
+
+    def _fire_steering(self, since: int) -> None:
+        for record in self.controller.records[since:]:
+            for hook in self.on_steering:
+                hook(self, record)
+
+    # ---------------------------------------------------------------- phases
+    def submit(self) -> List[int]:
+        """Phase 1 — keep the scheduler fed up to the job limit; start jobs."""
+        self.launcher.submit_available()
+        started = self.launcher.advance_scheduler()
+        for client in started:
+            record = self.launcher.records[client.simulation_id]
+            uniform = record.source in (ParameterSource.INITIAL_UNIFORM, ParameterSource.MIX_UNIFORM)
+            self.server.mark_parameter_source(client.simulation_id, uniform)
+        return [client.simulation_id for client in started]
+
+    def produce(self) -> int:
+        """Phase 2 — each running client streams a few time steps; returns count."""
+        produced = 0
+        if not self.reservoir.can_accept():
+            return produced
+        for client in self.launcher.running_clients():
+            messages = client.produce(self.config.timesteps_per_tick)
+            for message in messages:
+                # Volume accounting only; the message itself stays in the
+                # local bounded-memory pending queue.
+                self.transport.account(message)
+                self.pending_messages.append(message)
+            produced += len(messages)
+            if client.finished:
+                self.launcher.mark_finished(client.simulation_id)
+        return produced
+
+    def receive(self) -> int:
+        """Phase 3 — drain pending messages while the reservoir accepts them."""
+        received = 0
+        while self.pending_messages:
+            if not self.reservoir.can_accept():
+                break
+            message = self.pending_messages.popleft()
+            if not self.server.receive(message):
+                self.pending_messages.appendleft(message)
+                break
+            received += 1
+        return received
+
+    def train(self) -> List[float]:
+        """Phase 4 — NN iterations for this tick (empty before the watermark)."""
+        losses: List[float] = []
+        if not self.server.ready:
+            return losses
+        for _ in range(self.config.train_iterations_per_tick):
+            if self.server.iteration >= self.config.max_iterations:
+                break
+            n_validation = len(self.server.history.validation_losses)
+            n_steering = len(self.controller.records)
+            loss = self.server.train_iteration(self.launcher)
+            if loss is not None:
+                losses.append(loss)
+            if self.on_validation:
+                self._fire_validation(n_validation)
+            if self.on_steering:
+                self._fire_steering(n_steering)
+        return losses
+
+    def should_stop(self) -> bool:
+        """Phase 5 — termination: iteration budget reached, or data starved."""
+        if self.server.iteration >= self.config.max_iterations:
+            return True
+        if self.launcher.all_finished and not self.pending_messages and not self.server.ready:
+            # Not enough data was ever produced to reach the watermark.
+            return True
+        return False
+
+    # --------------------------------------------------------------- driving
+    def tick(self) -> bool:
+        """Run one submit→produce→receive→train round; False when done."""
+        self.n_ticks += 1
+        self.submit()
+        self.produce()
+        self.receive()
+        self.train()
+        for hook in self.on_tick:
+            hook(self)
+        return not self.should_stop()
+
+    def run(self) -> OnlineTrainingResult:
+        """Drive ticks until termination and return the collected result."""
+        while self.n_ticks < self.config.max_ticks:
+            if not self.tick():
+                break
+        return self.result()
+
+    # ---------------------------------------------------------------- result
+    def result(self) -> OnlineTrainingResult:
+        """Finalise (one last validation point) and package the run's output."""
+        if not self._finalized:
+            self._finalized = True
+            if self.validation_set is not None:
+                n_validation = len(self.server.history.validation_losses)
+                self.server.evaluate_validation()
+                if self.on_validation:
+                    self._fire_validation(n_validation)
+        executed_parameters, sources = self.launcher.executed_parameters()
+        return OnlineTrainingResult(
+            config=self.config,
+            method=self.sampler.name,
+            history=self.server.history,
+            model=self.model,
+            executed_parameters=executed_parameters,
+            parameter_sources=sources,
+            steering_records=list(self.controller.records),
+            launcher_summary=self.launcher.summary(),
+            reservoir_summary=self.reservoir.summary(),
+            server_summary=self.server.summary(),
+            transport_bytes=self.transport.total_bytes(),
+            n_ticks=self.n_ticks,
+            steering_seconds=self.controller.total_steering_seconds,
+            workload=self.workload_name,
+        )

@@ -1,0 +1,237 @@
+"""Workloads: the pluggable "physics" side of the on-line training API.
+
+A :class:`Workload` bundles everything the training session needs to know
+about one simulation scenario:
+
+* the solver that produces trajectories (the data "oracle"),
+* the input-parameter box ``Λ`` the steering samplers draw from,
+* the surrogate input/output dimensions and the a-priori normalisation
+  scalers.
+
+Three workloads ship with the reproduction:
+
+* ``"heat2d"`` — the paper's 2-D heat PDE (implicit backward-Euler solver),
+* ``"heat1d"`` — the cheaper 1-D heat PDE (implicit solver), useful for fast
+  scenario studies and CI,
+* ``"analytic"`` — closed-form transient 1-D solutions, a discretisation-free
+  workload whose only error source is the surrogate itself.
+
+New workloads are plugged in through
+:func:`repro.api.registry.register_workload`; the factory receives the full
+:class:`~repro.api.config.OnlineTrainingConfig` so it can derive its
+resolution from the shared ``heat``/``workload_options`` knobs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.api.registry import register_workload
+from repro.sampling.bounds import HEAT1D_BOUNDS, HEAT2D_BOUNDS, ParameterBounds
+from repro.solvers.analytic import Analytic1DConfig, Analytic1DSolver
+from repro.solvers.base import Solver
+from repro.solvers.heat1d import Heat1DConfig, Heat1DImplicitSolver
+from repro.solvers.heat2d import Heat2DConfig, Heat2DImplicitSolver
+from repro.surrogate.model import SurrogateConfig
+from repro.surrogate.normalization import SurrogateScalers
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.config import OnlineTrainingConfig
+
+__all__ = [
+    "Workload",
+    "Heat2DWorkload",
+    "Heat1DWorkload",
+    "AnalyticWorkload",
+]
+
+
+class Workload(abc.ABC):
+    """One simulation scenario: solver + parameter box + surrogate geometry."""
+
+    #: registry key of the workload (implementations override)
+    name: str = "workload"
+
+    @property
+    @abc.abstractmethod
+    def bounds(self) -> ParameterBounds:
+        """Input-parameter space ``Λ`` sampled by the steering methods."""
+
+    @property
+    @abc.abstractmethod
+    def n_timesteps(self) -> int:
+        """Number of solver time steps per trajectory (excluding ``t = 0``)."""
+
+    @property
+    @abc.abstractmethod
+    def output_dim(self) -> int:
+        """Flattened solution-field length (the surrogate output size)."""
+
+    @abc.abstractmethod
+    def build_solver(self) -> Solver:
+        """Construct the solver shared by every client of a run."""
+
+    @property
+    def input_dim(self) -> int:
+        """Surrogate input size: the parameter vector plus the time step."""
+        return self.bounds.dim + 1
+
+    def build_scalers(self) -> SurrogateScalers:
+        """A-priori min-max scalers; override for unbounded fields."""
+        return SurrogateScalers.from_bounds(self.bounds, self.n_timesteps)
+
+    def surrogate_config(
+        self, hidden_size: int, n_hidden_layers: int, activation: str
+    ) -> SurrogateConfig:
+        """Surrogate architecture matching this workload's geometry."""
+        return SurrogateConfig(
+            input_dim=self.input_dim,
+            output_dim=self.output_dim,
+            hidden_size=hidden_size,
+            n_hidden_layers=n_hidden_layers,
+            activation=activation,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{self.__class__.__name__}(dim={self.bounds.dim}, "
+            f"T={self.n_timesteps}, output_dim={self.output_dim})"
+        )
+
+
+@dataclass(frozen=True)
+class Heat2DWorkload(Workload):
+    """The paper's 2-D heat PDE scenario (Appendix B.1)."""
+
+    heat: Heat2DConfig = field(default_factory=Heat2DConfig)
+    parameter_bounds: ParameterBounds = HEAT2D_BOUNDS
+
+    name = "heat2d"
+
+    @property
+    def bounds(self) -> ParameterBounds:
+        return self.parameter_bounds
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.heat.n_timesteps
+
+    @property
+    def output_dim(self) -> int:
+        return self.heat.grid_size**2
+
+    def build_solver(self) -> Heat2DImplicitSolver:
+        return Heat2DImplicitSolver(self.heat)
+
+
+@dataclass(frozen=True)
+class Heat1DWorkload(Workload):
+    """1-D heat PDE scenario: ~100× cheaper trajectories than ``heat2d``."""
+
+    heat: Heat1DConfig = field(default_factory=Heat1DConfig)
+    parameter_bounds: ParameterBounds = HEAT1D_BOUNDS
+
+    name = "heat1d"
+
+    @property
+    def bounds(self) -> ParameterBounds:
+        return self.parameter_bounds
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.heat.n_timesteps
+
+    @property
+    def output_dim(self) -> int:
+        return self.heat.n_points
+
+    def build_solver(self) -> Heat1DImplicitSolver:
+        return Heat1DImplicitSolver(self.heat)
+
+
+@dataclass(frozen=True)
+class AnalyticWorkload(Workload):
+    """Closed-form 1-D transient scenario: exact fields, no solver error."""
+
+    analytic: Analytic1DConfig = field(default_factory=Analytic1DConfig)
+    parameter_bounds: ParameterBounds = HEAT1D_BOUNDS
+
+    name = "analytic"
+
+    @property
+    def bounds(self) -> ParameterBounds:
+        return self.parameter_bounds
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.analytic.n_timesteps
+
+    @property
+    def output_dim(self) -> int:
+        return self.analytic.n_points
+
+    def build_solver(self) -> Analytic1DSolver:
+        return Analytic1DSolver(self.analytic)
+
+
+# --------------------------------------------------------------------------
+# Default registrations.  Factories receive the full run configuration; the
+# 1-D workloads derive their resolution from the shared ``heat`` knobs
+# (grid_size → n_points) unless overridden through ``workload_options``.
+# --------------------------------------------------------------------------
+
+def _options(config: "OnlineTrainingConfig", **defaults: Any) -> Dict[str, Any]:
+    merged = dict(defaults)
+    merged.update(config.workload_options)
+    return merged
+
+
+def _bounds_1d(config: "OnlineTrainingConfig") -> ParameterBounds:
+    """Honour a user-supplied parameter box for the 1-D workloads.
+
+    The config's ``bounds`` field defaults to the 5-dim heat2d box; when left
+    at that default the canonical :data:`HEAT1D_BOUNDS` is used.  An
+    explicitly customised box must have the workload's 3 dimensions —
+    anything else is a misconfiguration that must not be silently ignored.
+    """
+    if config.bounds == HEAT2D_BOUNDS:
+        return HEAT1D_BOUNDS
+    if config.bounds.dim != 3:
+        raise ValueError(
+            f"workload {config.workload!r} takes 3 parameters (T0, T_left, T_right); "
+            f"got bounds with dim={config.bounds.dim}"
+        )
+    return config.bounds
+
+
+@register_workload("heat2d")
+def _build_heat2d(config: "OnlineTrainingConfig") -> Heat2DWorkload:
+    return Heat2DWorkload(heat=config.heat, parameter_bounds=config.bounds)
+
+
+@register_workload("heat1d")
+def _build_heat1d(config: "OnlineTrainingConfig") -> Heat1DWorkload:
+    opts = _options(
+        config,
+        n_points=max(config.heat.grid_size, 3),
+        n_timesteps=config.heat.n_timesteps,
+        dt=config.heat.dt,
+        alpha=config.heat.alpha,
+        length=config.heat.length,
+    )
+    return Heat1DWorkload(heat=Heat1DConfig(**opts), parameter_bounds=_bounds_1d(config))
+
+
+@register_workload("analytic")
+def _build_analytic(config: "OnlineTrainingConfig") -> AnalyticWorkload:
+    opts = _options(
+        config,
+        n_points=max(config.heat.grid_size, 3),
+        n_timesteps=config.heat.n_timesteps,
+        dt=config.heat.dt,
+        alpha=config.heat.alpha,
+        length=config.heat.length,
+    )
+    return AnalyticWorkload(analytic=Analytic1DConfig(**opts), parameter_bounds=_bounds_1d(config))

@@ -12,7 +12,13 @@ Module         Paper artefact
 =============  =======================================================
 """
 
-from repro.experiments.base import SCALES, ExperimentScale, base_config, scaled_breed_config
+from repro.experiments.base import (
+    SCALES,
+    ExperimentScale,
+    base_config,
+    scaled_breed_config,
+    shared_study_inputs,
+)
 from repro.experiments.fig3a import Fig3aCell, Fig3aResult, run_fig3a
 from repro.experiments.fig3b import PAPER_FACTORS, SMOKE_FACTORS, Fig3bPanel, Fig3bResult, run_fig3b
 from repro.experiments.fig4 import Fig4Result, run_fig4
@@ -25,6 +31,7 @@ __all__ = [
     "ExperimentScale",
     "base_config",
     "scaled_breed_config",
+    "shared_study_inputs",
     "Fig3aCell",
     "Fig3aResult",
     "run_fig3a",

@@ -20,13 +20,23 @@ the first resampling triggers fire, exactly as in the full-size experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
+from repro.api.workloads import Workload
 from repro.breed.samplers import BreedConfig
 from repro.melissa.run import OnlineTrainingConfig
+from repro.solvers.base import Solver
 from repro.solvers.heat2d import Heat2DConfig
+from repro.surrogate.validation import ValidationSet, build_validation_set
 
-__all__ = ["ExperimentScale", "SCALES", "base_config", "scaled_breed_config", "with_architecture"]
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "base_config",
+    "scaled_breed_config",
+    "shared_study_inputs",
+    "with_architecture",
+]
 
 
 @dataclass(frozen=True)
@@ -134,15 +144,22 @@ def base_config(
     method: str = "breed",
     seed: int = 0,
     record_sample_statistics: bool = False,
+    workload: str = "heat2d",
     **breed_overrides: float,
 ) -> OnlineTrainingConfig:
-    """Build an :class:`OnlineTrainingConfig` for a named scale."""
+    """Build an :class:`OnlineTrainingConfig` for a named scale.
+
+    ``workload`` selects the scenario (any :func:`repro.api.register_workload`
+    key); the 1-D workloads reuse the scale's resolution knobs
+    (``grid_size`` → ``n_points``).
+    """
     if scale_name not in SCALES:
         raise KeyError(f"unknown scale {scale_name!r}; options: {sorted(SCALES)}")
     scale = SCALES[scale_name]
     return OnlineTrainingConfig(
         method=method,
         breed=scaled_breed_config(scale, **breed_overrides),
+        workload=workload,
         heat=Heat2DConfig(grid_size=scale.grid_size, n_timesteps=scale.n_timesteps),
         n_simulations=scale.n_simulations,
         batch_size=scale.batch_size,
@@ -162,3 +179,25 @@ def base_config(
 def with_architecture(config: OnlineTrainingConfig, hidden_size: int, n_layers: int) -> OnlineTrainingConfig:
     """Return a copy of ``config`` with a different MLP architecture."""
     return replace(config, hidden_size=hidden_size, n_hidden_layers=n_layers)
+
+
+def shared_study_inputs(
+    config: OnlineTrainingConfig,
+) -> Tuple[Workload, Solver, Optional[ValidationSet]]:
+    """Workload, solver and fixed validation set shared by a study's runs.
+
+    Every experiment module reuses one solver (the implicit schemes
+    pre-factorise their linear system) and one Halton validation set across
+    all runs, exactly like the paper's studies.
+    """
+    workload = config.build_workload()
+    solver = workload.build_solver()
+    validation: Optional[ValidationSet] = None
+    if config.n_validation_trajectories > 0:
+        validation = build_validation_set(
+            solver=solver,
+            bounds=workload.bounds,
+            scalers=workload.build_scalers(),
+            n_trajectories=config.n_validation_trajectories,
+        )
+    return workload, solver, validation

@@ -16,11 +16,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.curves import LossCurve, curve_from_history
-from repro.experiments.base import base_config
+from repro.experiments.base import base_config, shared_study_inputs
 from repro.melissa.run import OnlineTrainingResult, run_online_training
-from repro.solvers.heat2d import Heat2DImplicitSolver
-from repro.surrogate.normalization import SurrogateScalers
-from repro.surrogate.validation import build_validation_set
 
 __all__ = ["Fig3aCell", "Fig3aResult", "run_fig3a"]
 
@@ -93,14 +90,7 @@ def run_fig3a(
     """Run the architecture study and return its loss curves."""
     template = base_config(scale, method="breed", seed=seed)
     # Shared solver and validation set across every run of the study.
-    solver = Heat2DImplicitSolver(template.heat)
-    scalers = SurrogateScalers.for_heat2d(template.bounds, template.heat.n_timesteps)
-    validation = build_validation_set(
-        solver=solver,
-        bounds=template.bounds,
-        scalers=scalers,
-        n_trajectories=template.n_validation_trajectories,
-    )
+    _, solver, validation = shared_study_inputs(template)
     cells: List[Fig3aCell] = []
     for hidden in hidden_sizes:
         for layers in layer_counts:

@@ -13,11 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.analysis.curves import LossCurve, curve_from_history
-from repro.experiments.base import base_config
+from repro.experiments.base import base_config, shared_study_inputs
 from repro.melissa.run import run_online_training
-from repro.solvers.heat2d import Heat2DImplicitSolver
-from repro.surrogate.normalization import SurrogateScalers
-from repro.surrogate.validation import build_validation_set
 from repro.workflow.study import apply_overrides
 
 __all__ = ["PAPER_FACTORS", "SMOKE_FACTORS", "Fig3bPanel", "Fig3bResult", "run_fig3b"]
@@ -91,14 +88,7 @@ def run_fig3b(
         factors = SMOKE_FACTORS if scale == "smoke" else PAPER_FACTORS
     # The paper fixes H=16, L=1 for these studies.
     template = base_config(scale, method="breed", seed=seed)
-    solver = Heat2DImplicitSolver(template.heat)
-    scalers = SurrogateScalers.for_heat2d(template.bounds, template.heat.n_timesteps)
-    validation = build_validation_set(
-        solver=solver,
-        bounds=template.bounds,
-        scalers=scalers,
-        n_trajectories=template.n_validation_trajectories,
-    )
+    _, solver, validation = shared_study_inputs(template)
     panels: List[Fig3bPanel] = []
     for factor, values in factors.items():
         panel = Fig3bPanel(factor=factor)

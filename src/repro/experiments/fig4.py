@@ -18,11 +18,8 @@ from dataclasses import dataclass, replace
 from typing import Dict
 
 from repro.analysis.deviation import DeviationHistogram, compare_runs, histogram_by_source
-from repro.experiments.base import base_config
+from repro.experiments.base import base_config, shared_study_inputs
 from repro.melissa.run import OnlineTrainingResult, run_online_training
-from repro.solvers.heat2d import Heat2DImplicitSolver
-from repro.surrogate.normalization import SurrogateScalers
-from repro.surrogate.validation import build_validation_set
 
 __all__ = ["Fig4Result", "run_fig4"]
 
@@ -65,14 +62,7 @@ def run_fig4(scale: str = "smoke", seed: int = 0, n_bins: int = 16) -> Fig4Resul
     breed_config = base_config(scale, method="breed", seed=seed)
     random_config = replace(breed_config, method="random")
 
-    solver = Heat2DImplicitSolver(breed_config.heat)
-    scalers = SurrogateScalers.for_heat2d(breed_config.bounds, breed_config.heat.n_timesteps)
-    validation = build_validation_set(
-        solver=solver,
-        bounds=breed_config.bounds,
-        scalers=scalers,
-        n_trajectories=breed_config.n_validation_trajectories,
-    )
+    _, solver, validation = shared_study_inputs(breed_config)
 
     breed_run = run_online_training(breed_config, solver=solver, validation_set=validation)
     random_run = run_online_training(random_config, solver=solver, validation_set=validation)

@@ -20,8 +20,9 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.analysis.correlation import CorrelationMatrix, correlation_matrix
+from repro.api.session import TrainingSession
 from repro.experiments.base import base_config
-from repro.melissa.run import OnlineTrainingResult, run_online_training
+from repro.melissa.run import OnlineTrainingResult
 
 __all__ = ["Fig6Result", "run_fig6"]
 
@@ -50,6 +51,6 @@ class Fig6Result:
 def run_fig6(scale: str = "smoke", seed: int = 0) -> Fig6Result:
     """Run one Breed experiment with statistics recording and build the matrix."""
     config = base_config(scale, method="breed", seed=seed, record_sample_statistics=True)
-    run = run_online_training(config)
+    run = TrainingSession(config).run()
     matrix = correlation_matrix(run.history.sample_statistics)
     return Fig6Result(matrix=matrix, run=run, scale=scale)

@@ -21,6 +21,8 @@ from repro.melissa.reservoir import Reservoir, ReservoirBatch, ReservoirEntry
 from repro.melissa.run import (
     OnlineTrainingConfig,
     OnlineTrainingResult,
+    TrainingSession,
+    build_sampler,
     build_solver,
     run_online_training,
 )
@@ -45,6 +47,8 @@ __all__ = [
     "ReservoirEntry",
     "OnlineTrainingConfig",
     "OnlineTrainingResult",
+    "TrainingSession",
+    "build_sampler",
     "build_solver",
     "run_online_training",
     "BatchScheduler",

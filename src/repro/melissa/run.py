@@ -1,196 +1,53 @@
-"""End-to-end on-line training driver.
+"""Backward-compatible entry point of the on-line training driver.
 
-This module wires the whole framework together — launcher, batch scheduler,
-clients, transport, reservoir, server, steering controller — and runs the
-cooperative loop that simulates the asynchronous execution of the real system:
+Historically this module held the entire driver: a 70-line monolithic tick
+loop hard-wired to the Heat2D implicit solver.  That loop now lives in
+:class:`repro.api.session.TrainingSession`, decomposed into explicit
+``submit`` / ``produce`` / ``receive`` / ``train`` / ``should_stop`` phases
+over a pluggable :class:`~repro.api.workloads.Workload`; the configuration and
+result dataclasses moved to :mod:`repro.api.config` and
+:mod:`repro.api.session`.
 
-1. the launcher keeps the scheduler fed with at most ``m`` client jobs,
-2. running clients each stream a bounded number of time steps per tick,
-3. once the reservoir watermark is reached, the server performs a configurable
-   number of training iterations per tick (the paper notes the training thread
-   typically runs faster than the receiving thread),
-4. after every training iteration the steering controller may trigger a Breed
-   resampling that rewrites the parameters of not-yet-submitted simulations.
+Everything documented here keeps working unchanged:
 
-:func:`run_online_training` is the single public entry point used by the
-examples, the experiment studies and the benchmarks.
+* :class:`OnlineTrainingConfig`, :class:`OnlineTrainingResult` are re-exported,
+* :func:`run_online_training` is a thin wrapper that builds a
+  :class:`TrainingSession` and runs it to completion — for the default
+  ``workload="heat2d"`` the behaviour (including every RNG stream) is
+  identical to the historic loop,
+* :func:`build_solver` / :func:`build_sampler` resolve through the
+  :mod:`repro.api.registry` registries.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Optional
 
-import numpy as np
-
-from repro.breed.controller import BreedController, SteeringRecord
-from repro.breed.samplers import (
-    BreedConfig,
-    BreedSampler,
-    ParameterSource,
-    RandomSampler,
-    SteeringSampler,
-)
-from repro.melissa.client import ClientFactory
-from repro.melissa.launcher import Launcher
-from repro.melissa.messages import TimeStepMessage
-from repro.melissa.reservoir import Reservoir
-from repro.melissa.scheduler import BatchScheduler
-from repro.melissa.server import TrainingHistory, TrainingServer
-from repro.melissa.transport import InProcessTransport
-from repro.nn.optim import Adam
-from repro.sampling.bounds import HEAT2D_BOUNDS, ParameterBounds
+from repro.api.config import OnlineTrainingConfig
+from repro.api.session import OnlineTrainingResult, TrainingSession
+from repro.breed.samplers import SteeringSampler
 from repro.solvers.base import Solver
-from repro.solvers.heat2d import Heat2DConfig, Heat2DImplicitSolver
-from repro.surrogate.model import DirectSurrogate, SurrogateConfig
-from repro.surrogate.normalization import SurrogateScalers
-from repro.surrogate.validation import ValidationSet, build_validation_set
+from repro.surrogate.validation import ValidationSet
 from repro.utils.logging import EventLog
-from repro.utils.rng import RngStreams
 
-__all__ = ["OnlineTrainingConfig", "OnlineTrainingResult", "run_online_training", "build_solver"]
-
-
-@dataclass(frozen=True)
-class OnlineTrainingConfig:
-    """Complete configuration of one on-line training run.
-
-    Defaults correspond to a *scaled-down* version of the paper's setup that
-    runs in seconds on a single CPU core; the full-size values from Section 4
-    (``grid_size=64``, ``n_timesteps=100``, ``n_simulations=800``,
-    ``reservoir_watermark=300``, ``max_iterations≈5000``,
-    ``n_validation_trajectories=200``) can be set explicitly.
-    """
-
-    # --- steering method -------------------------------------------------
-    method: str = "breed"                      # "breed" or "random"
-    breed: BreedConfig = field(default_factory=BreedConfig)
-    # --- PDE / workload ---------------------------------------------------
-    heat: Heat2DConfig = field(default_factory=lambda: Heat2DConfig(grid_size=12, n_timesteps=20))
-    bounds: ParameterBounds = HEAT2D_BOUNDS
-    n_simulations: int = 64                    # S — simulation budget
-    # --- surrogate / optimisation ----------------------------------------
-    hidden_size: int = 16                      # H
-    n_hidden_layers: int = 1                   # L
-    activation: str = "relu"
-    learning_rate: float = 1e-3
-    batch_size: int = 128                      # B
-    # --- framework --------------------------------------------------------
-    job_limit: int = 10                        # m — simultaneous client jobs
-    scheduler_max_start_delay: int = 2
-    reservoir_capacity: int = 1000
-    reservoir_watermark: int = 300
-    timesteps_per_tick: int = 2                # produced per running client per tick
-    train_iterations_per_tick: int = 4
-    max_iterations: int = 400
-    validation_period: int = 50
-    n_validation_trajectories: int = 16
-    # --- bookkeeping -------------------------------------------------------
-    record_sample_statistics: bool = False
-    seed: int = 0
-    max_ticks: int = 1_000_000
-
-    def __post_init__(self) -> None:
-        if self.method not in ("breed", "random"):
-            raise ValueError(f"method must be 'breed' or 'random', got {self.method!r}")
-        if self.n_simulations < 1:
-            raise ValueError("n_simulations must be >= 1")
-        if self.batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
-        if self.max_iterations < 1:
-            raise ValueError("max_iterations must be >= 1")
-        if self.timesteps_per_tick < 1 or self.train_iterations_per_tick < 0:
-            raise ValueError("invalid per-tick settings")
-        if self.reservoir_watermark > self.reservoir_capacity:
-            raise ValueError("reservoir_watermark cannot exceed reservoir_capacity")
-
-    @property
-    def surrogate_config(self) -> SurrogateConfig:
-        return SurrogateConfig(
-            input_dim=self.bounds.dim + 1,
-            output_dim=self.heat.grid_size**2,
-            hidden_size=self.hidden_size,
-            n_hidden_layers=self.n_hidden_layers,
-            activation=self.activation,
-        )
-
-    def paper_scale(self) -> "OnlineTrainingConfig":
-        """Return the full-size configuration used by the paper (expensive)."""
-        return OnlineTrainingConfig(
-            method=self.method,
-            breed=self.breed,
-            heat=Heat2DConfig(grid_size=64, n_timesteps=100),
-            bounds=self.bounds,
-            n_simulations=800,
-            hidden_size=self.hidden_size,
-            n_hidden_layers=self.n_hidden_layers,
-            activation=self.activation,
-            learning_rate=1e-3,
-            batch_size=128,
-            job_limit=10,
-            reservoir_capacity=4000,
-            reservoir_watermark=300,
-            max_iterations=5000,
-            validation_period=100,
-            n_validation_trajectories=200,
-            record_sample_statistics=self.record_sample_statistics,
-            seed=self.seed,
-        )
+__all__ = [
+    "OnlineTrainingConfig",
+    "OnlineTrainingResult",
+    "TrainingSession",
+    "run_online_training",
+    "build_solver",
+    "build_sampler",
+]
 
 
-@dataclass
-class OnlineTrainingResult:
-    """Everything produced by one on-line training run."""
-
-    config: OnlineTrainingConfig
-    method: str
-    history: TrainingHistory
-    model: DirectSurrogate
-    executed_parameters: np.ndarray
-    parameter_sources: List[str]
-    steering_records: List[SteeringRecord]
-    launcher_summary: Dict[str, int]
-    reservoir_summary: Dict[str, float]
-    server_summary: Dict[str, float]
-    transport_bytes: int
-    n_ticks: int
-    steering_seconds: float
-
-    @property
-    def final_validation_loss(self) -> float:
-        return self.history.final_validation_loss()
-
-    @property
-    def final_train_loss(self) -> float:
-        return self.history.final_train_loss()
-
-    @property
-    def overfit_gap(self) -> float:
-        """validation − train loss at the end of the run (positive ⇒ overfitting)."""
-        return self.final_validation_loss - self.final_train_loss
-
-    def uniform_fraction(self) -> float:
-        """Fraction of executed parameter vectors that came from a uniform draw."""
-        if not self.parameter_sources:
-            return float("nan")
-        uniform = sum(
-            1
-            for s in self.parameter_sources
-            if s in (ParameterSource.INITIAL_UNIFORM, ParameterSource.MIX_UNIFORM)
-        )
-        return uniform / len(self.parameter_sources)
-
-
-def build_solver(config: OnlineTrainingConfig) -> Heat2DImplicitSolver:
-    """Construct the (shared) heat solver used by every client of a run."""
-    return Heat2DImplicitSolver(config.heat)
+def build_solver(config: OnlineTrainingConfig) -> Solver:
+    """Construct the (shared) solver of the configured workload."""
+    return config.build_workload().build_solver()
 
 
 def build_sampler(config: OnlineTrainingConfig) -> SteeringSampler:
-    if config.method == "breed":
-        return BreedSampler(config.bounds, config.breed)
-    return RandomSampler(config.bounds)
+    """Construct the configured steering sampler."""
+    return config.build_sampler()
 
 
 def run_online_training(
@@ -214,127 +71,10 @@ def run_online_training(
     event_log:
         Optional structured event log for debugging / tests.
     """
-    streams = RngStreams(config.seed)
-    solver = solver if solver is not None else build_solver(config)
-    scalers = SurrogateScalers.for_heat2d(config.bounds, config.heat.n_timesteps)
-
-    # --- validation set (fixed, Halton-sequence parameters) ---------------
-    if validation_set is None and config.n_validation_trajectories > 0:
-        validation_set = build_validation_set(
-            solver=solver,
-            bounds=config.bounds,
-            scalers=scalers,
-            n_trajectories=config.n_validation_trajectories,
-        )
-
-    # --- model / optimizer -------------------------------------------------
-    model = DirectSurrogate(config.surrogate_config, scalers, rng=streams.get("model_init"))
-    optimizer = Adam(model.parameters(), lr=config.learning_rate)
-
-    # --- steering ----------------------------------------------------------
-    sampler = build_sampler(config)
-    controller = BreedController(sampler=sampler, rng=streams.get("breed"), event_log=event_log)
-
-    # --- framework ----------------------------------------------------------
-    initial_parameters = sampler.initial_parameters(config.n_simulations, streams.get("initial_sampling"))
-    scheduler = BatchScheduler(
-        job_limit=config.job_limit,
-        rng=streams.get("scheduler"),
-        max_start_delay=config.scheduler_max_start_delay,
-    )
-    client_factory = ClientFactory(solver=solver)
-    launcher = Launcher(
-        initial_parameters=initial_parameters,
-        client_factory=client_factory,
-        scheduler=scheduler,
-        event_log=event_log,
-    )
-    reservoir = Reservoir(
-        capacity=config.reservoir_capacity,
-        watermark=min(config.reservoir_watermark, config.reservoir_capacity),
-        rng=streams.get("reservoir"),
-    )
-    transport = InProcessTransport()
-    server = TrainingServer(
-        model=model,
-        optimizer=optimizer,
-        reservoir=reservoir,
-        controller=controller,
-        batch_size=config.batch_size,
+    session = TrainingSession(
+        config,
+        solver=solver,
         validation_set=validation_set,
-        validation_period=config.validation_period,
-        record_sample_statistics=config.record_sample_statistics,
         event_log=event_log,
     )
-
-    pending_messages: Deque[TimeStepMessage] = deque()
-    n_ticks = 0
-
-    # ------------------------------------------------------------ main loop
-    while n_ticks < config.max_ticks:
-        n_ticks += 1
-
-        # 1. Submission: keep the scheduler fed up to the job limit.
-        launcher.submit_available()
-        started = launcher.advance_scheduler()
-        for client in started:
-            record = launcher.records[client.simulation_id]
-            uniform = record.source in (ParameterSource.INITIAL_UNIFORM, ParameterSource.MIX_UNIFORM)
-            server.mark_parameter_source(client.simulation_id, uniform)
-
-        # 2. Data production: each running client streams a few time steps.
-        if reservoir.can_accept():
-            for client in launcher.running_clients():
-                messages = client.produce(config.timesteps_per_tick)
-                for message in messages:
-                    # Route through the transport for volume accounting, then
-                    # hand over to the local pending queue (bounded memory).
-                    transport.data.put(message)
-                    transport.data.get()
-                    pending_messages.append(message)
-                if client.finished:
-                    launcher.mark_finished(client.simulation_id)
-
-        # 3. Reception: drain pending messages while the reservoir accepts them.
-        while pending_messages:
-            if not reservoir.can_accept():
-                break
-            message = pending_messages.popleft()
-            if not server.receive(message):
-                pending_messages.appendleft(message)
-                break
-
-        # 4. Training: a few NN iterations per tick once the watermark is hit.
-        if server.ready:
-            for _ in range(config.train_iterations_per_tick):
-                if server.iteration >= config.max_iterations:
-                    break
-                server.train_iteration(launcher)
-
-        # 5. Termination.
-        if server.iteration >= config.max_iterations:
-            break
-        if launcher.all_finished and not pending_messages and not server.ready:
-            # Not enough data was ever produced to reach the watermark.
-            break
-
-    # Final validation point so every run ends with an up-to-date metric.
-    if validation_set is not None:
-        server.evaluate_validation()
-
-    executed_parameters, sources = launcher.executed_parameters()
-    return OnlineTrainingResult(
-        config=config,
-        method=sampler.name,
-        history=server.history,
-        model=model,
-        executed_parameters=executed_parameters,
-        parameter_sources=sources,
-        steering_records=list(controller.records),
-        launcher_summary=launcher.summary(),
-        reservoir_summary=reservoir.summary(),
-        server_summary=server.summary(),
-        transport_bytes=transport.total_bytes(),
-        n_ticks=n_ticks,
-        steering_seconds=controller.total_steering_seconds,
-    )
+    return session.run()

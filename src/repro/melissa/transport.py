@@ -54,6 +54,15 @@ class Channel:
         self.stats.record(message, len(self._queue))
         return True
 
+    def account(self, message: Message) -> None:
+        """Record volume statistics for ``message`` without enqueueing it.
+
+        The in-process run loop hands messages straight to its local pending
+        queue; this path keeps the byte/message accounting of a real network
+        hop without the pointless ``put``/``get`` round-trip.
+        """
+        self.stats.record(message, len(self._queue))
+
     def get(self) -> Optional[Message]:
         if not self._queue:
             return None
@@ -102,6 +111,10 @@ class InProcessTransport:
     @property
     def jobs(self) -> Channel:
         return self.channels["jobs"]
+
+    def account(self, message: Message) -> None:
+        """Volume-account a client→server message on the data channel."""
+        self.data.account(message)
 
     def total_bytes(self) -> int:
         return sum(c.stats.n_bytes for c in self.channels.values())

@@ -1,7 +1,7 @@
 """Sampling primitives: parameter boxes, Halton/uniform/Latin-hypercube
 generators, Gaussian proposals and weighted resampling."""
 
-from repro.sampling.bounds import HEAT2D_BOUNDS, ParameterBounds
+from repro.sampling.bounds import HEAT1D_BOUNDS, HEAT2D_BOUNDS, ParameterBounds
 from repro.sampling.gaussian import GaussianMixture, IsotropicGaussian, MultivariateNormal
 from repro.sampling.halton import first_primes, halton_in_bounds, halton_sequence, radical_inverse
 from repro.sampling.multinomial import (
@@ -15,6 +15,7 @@ from repro.sampling.multinomial import (
 from repro.sampling.uniform import latin_hypercube_in_bounds, uniform_in_bounds
 
 __all__ = [
+    "HEAT1D_BOUNDS",
     "HEAT2D_BOUNDS",
     "ParameterBounds",
     "GaussianMixture",

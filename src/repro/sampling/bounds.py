@@ -12,7 +12,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ParameterBounds", "HEAT2D_BOUNDS"]
+__all__ = ["ParameterBounds", "HEAT2D_BOUNDS", "HEAT1D_BOUNDS"]
 
 
 @dataclass(frozen=True)
@@ -111,4 +111,12 @@ HEAT2D_BOUNDS = ParameterBounds(
     low=(100.0,) * 5,
     high=(500.0,) * 5,
     names=("T0", "T1", "T2", "T3", "T4"),
+)
+
+#: Input-parameter space of the 1-D heat workloads (initial + two boundary
+#: temperatures, same Kelvin range as the 2-D study).
+HEAT1D_BOUNDS = ParameterBounds(
+    low=(100.0,) * 3,
+    high=(500.0,) * 3,
+    names=("T0", "T_left", "T_right"),
 )

@@ -1,6 +1,12 @@
 """Finite-difference PDE solvers (the "oracle" labelling the training data)."""
 
-from repro.solvers.analytic import laplace_edge_series, steady_state_2d, transient_1d
+from repro.solvers.analytic import (
+    Analytic1DConfig,
+    Analytic1DSolver,
+    laplace_edge_series,
+    steady_state_2d,
+    transient_1d,
+)
 from repro.solvers.base import Solver
 from repro.solvers.grid import Grid1D, Grid2D
 from repro.solvers.heat1d import Heat1DConfig, Heat1DImplicitSolver
@@ -13,6 +19,8 @@ from repro.solvers.heat2d import (
 from repro.solvers.trajectory import TimeStepSample, Trajectory
 
 __all__ = [
+    "Analytic1DConfig",
+    "Analytic1DSolver",
     "laplace_edge_series",
     "steady_state_2d",
     "transient_1d",

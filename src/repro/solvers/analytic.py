@@ -10,13 +10,29 @@ Two references are provided:
 
 Both converge quickly with a modest number of modes and are used in the solver
 test-suite to bound the discretisation error.
+
+:class:`Analytic1DSolver` additionally wraps the transient 1-D series in the
+:class:`~repro.solvers.base.Solver` protocol, giving the on-line training
+framework a discretisation-free workload: every streamed field is the exact
+solution, so surrogate error is purely a learning artefact.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
 import numpy as np
 
-__all__ = ["laplace_edge_series", "steady_state_2d", "transient_1d"]
+from repro.solvers.base import Solver
+
+__all__ = [
+    "laplace_edge_series",
+    "steady_state_2d",
+    "transient_1d",
+    "Analytic1DConfig",
+    "Analytic1DSolver",
+]
 
 
 def laplace_edge_series(
@@ -107,3 +123,76 @@ def transient_1d(
         coeff = (2.0 / (n * np.pi)) * ((t0 - t_left) * (1.0 - sign) + (t_right - t_left) * sign)
         u += coeff * np.sin(k * x) * np.exp(-alpha * k * k * t)
     return u
+
+
+@dataclass(frozen=True)
+class Analytic1DConfig:
+    """Sampling configuration of the closed-form 1-D transient solution."""
+
+    n_points: int = 64
+    n_timesteps: int = 100
+    dt: float = 0.01
+    alpha: float = 1.0
+    length: float = 1.0
+    n_modes: int = 200
+
+    def __post_init__(self) -> None:
+        if self.n_points < 3:
+            raise ValueError("n_points must be >= 3")
+        if self.n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        if self.dt <= 0 or self.alpha <= 0 or self.length <= 0:
+            raise ValueError("dt, alpha and length must be positive")
+        if self.n_modes < 1:
+            raise ValueError("n_modes must be >= 1")
+
+
+class Analytic1DSolver(Solver):
+    """Exact transient 1-D heat trajectories via the Fourier sine series.
+
+    Parameter vector: ``λ = [T0, T_left, T_right]``, as for
+    :class:`~repro.solvers.heat1d.Heat1DImplicitSolver`.  The ``t = 0`` field
+    is the exact (discontinuous) initial condition rather than its truncated
+    series, avoiding Gibbs oscillations at the boundaries.
+    """
+
+    def __init__(self, config: Analytic1DConfig | None = None) -> None:
+        self.config = config if config is not None else Analytic1DConfig()
+        self.n_timesteps = self.config.n_timesteps
+        self._x = np.linspace(0.0, self.config.length, self.config.n_points)
+
+    @property
+    def field_size(self) -> int:
+        return self.config.n_points
+
+    @property
+    def parameter_dim(self) -> int:
+        return 3
+
+    def initial_field(self, parameters: Sequence[float]) -> np.ndarray:
+        t0, t_left, t_right = self.validate_parameters(parameters)
+        field = np.full(self.config.n_points, t0, dtype=np.float64)
+        field[0] = t_left
+        field[-1] = t_right
+        return field
+
+    def steps(self, parameters: Sequence[float]) -> Iterator[np.ndarray]:
+        t0, t_left, t_right = self.validate_parameters(parameters)
+        yield self.initial_field(parameters)
+        for step in range(1, self.n_timesteps + 1):
+            field = transient_1d(
+                self._x,
+                step * self.config.dt,
+                t0,
+                t_left,
+                t_right,
+                alpha=self.config.alpha,
+                length=self.config.length,
+                n_modes=self.config.n_modes,
+            )
+            # The series can overshoot the physical range by a tiny Gibbs
+            # residual at early times; clip to the maximum-principle bounds so
+            # min-max output scaling stays exact.
+            lo = min(t0, t_left, t_right)
+            hi = max(t0, t_left, t_right)
+            yield np.clip(field, lo, hi)

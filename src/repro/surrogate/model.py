@@ -51,7 +51,9 @@ class SurrogateConfig:
             raise ValueError("hidden_size must be positive")
         if self.n_hidden_layers < 1:
             raise ValueError("n_hidden_layers must be >= 1")
-        if self.activation not in ("relu", "tanh", "leaky_relu"):
+        from repro.api.registry import ACTIVATIONS
+
+        if self.activation not in ACTIVATIONS:
             raise ValueError(f"unsupported activation {self.activation!r}")
 
     @property
@@ -61,13 +63,15 @@ class SurrogateConfig:
 
 
 def _activation_module(name: str) -> nn.Module:
-    if name == "relu":
-        return nn.ReLU()
-    if name == "tanh":
-        return nn.Tanh()
-    if name == "leaky_relu":
-        return nn.LeakyReLU()
-    raise ValueError(f"unsupported activation {name!r}")
+    # Imported lazily: the registry lives in repro.api, which itself imports
+    # this module at package-initialisation time.
+    from repro.api.registry import get_activation
+
+    try:
+        factory = get_activation(name)
+    except KeyError:
+        raise ValueError(f"unsupported activation {name!r}") from None
+    return factory()
 
 
 def build_mlp(config: SurrogateConfig, rng: Optional[np.random.Generator] = None) -> nn.Sequential:

@@ -99,7 +99,13 @@ class SurrogateScalers:
     output_scaler: MinMaxScaler
 
     @classmethod
-    def for_heat2d(cls, bounds: ParameterBounds, n_timesteps: int) -> "SurrogateScalers":
+    def from_bounds(cls, bounds: ParameterBounds, n_timesteps: int) -> "SurrogateScalers":
+        """Build the a-priori min-max scalers for any bounded-field workload.
+
+        Inputs are the parameter vector plus the time-step index; outputs are
+        field values bounded by the extreme parameter values (which holds for
+        every heat workload by the discrete maximum principle).
+        """
         input_low = np.concatenate([bounds.low_array, [0.0]])
         input_high = np.concatenate([bounds.high_array, [float(n_timesteps)]])
         field_low = float(bounds.low_array.min())
@@ -108,6 +114,11 @@ class SurrogateScalers:
             input_scaler=MinMaxScaler(input_low, input_high),
             output_scaler=MinMaxScaler.scalar(field_low, field_high),
         )
+
+    @classmethod
+    def for_heat2d(cls, bounds: ParameterBounds, n_timesteps: int) -> "SurrogateScalers":
+        """Backward-compatible alias of :meth:`from_bounds`."""
+        return cls.from_bounds(bounds, n_timesteps)
 
     def encode_input(self, parameters: np.ndarray, timestep: float | np.ndarray) -> np.ndarray:
         """Build and normalise NN input rows from parameters and time steps.

@@ -12,11 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.api.workloads import Workload
 from repro.breed.samplers import BreedConfig
 from repro.melissa.run import OnlineTrainingConfig, OnlineTrainingResult, run_online_training
 from repro.solvers.base import Solver
-from repro.solvers.heat2d import Heat2DImplicitSolver
-from repro.surrogate.normalization import SurrogateScalers
 from repro.surrogate.validation import ValidationSet, build_validation_set
 from repro.utils.logging import get_logger
 from repro.utils.timer import Timer
@@ -26,18 +25,19 @@ __all__ = ["StudyRunner", "apply_overrides"]
 
 _LOGGER = get_logger("workflow")
 
-#: configuration keys that live on the nested BreedConfig rather than the run config
-_BREED_KEYS = {"sigma", "period", "window", "r_start", "r_end", "r_breakpoint"}
+#: configuration keys that live on the nested BreedConfig rather than the run
+#: config (derived from the dataclass so newly added fields stay overridable)
+_BREED_KEYS = frozenset(BreedConfig.__dataclass_fields__)
 
 
 def apply_overrides(base: OnlineTrainingConfig, overrides: Dict[str, Any]) -> OnlineTrainingConfig:
     """Build a run configuration from a base config plus a flat override dict.
 
-    Keys matching Breed hyper-parameters (``sigma``, ``period``, ``window``,
-    ``r_start``, ``r_end``, ``r_breakpoint``) are applied to the nested
-    :class:`BreedConfig`; keys starting with ``_`` are study metadata and are
-    ignored; everything else must be a field of
-    :class:`~repro.melissa.run.OnlineTrainingConfig`.
+    Keys matching Breed hyper-parameters (any field of :class:`BreedConfig`,
+    e.g. ``sigma``, ``period``, ``window``, ``r_start``) are applied to the
+    nested breed configuration; keys starting with ``_`` are study metadata
+    and are ignored; everything else must be a field of
+    :class:`~repro.api.config.OnlineTrainingConfig` (including ``workload``).
     """
     run_kwargs: Dict[str, Any] = {}
     breed_kwargs: Dict[str, Any] = {}
@@ -52,16 +52,9 @@ def apply_overrides(base: OnlineTrainingConfig, overrides: Dict[str, Any]) -> On
             run_kwargs[key] = value
     breed = base.breed
     if breed_kwargs:
-        breed = BreedConfig(
-            sigma=breed_kwargs.get("sigma", breed.sigma),
-            period=breed_kwargs.get("period", breed.period),
-            window=breed_kwargs.get("window", breed.window),
-            r_start=breed_kwargs.get("r_start", breed.r_start),
-            r_end=breed_kwargs.get("r_end", breed.r_end),
-            r_breakpoint=breed_kwargs.get("r_breakpoint", breed.r_breakpoint),
-            sigma_decrement=breed.sigma_decrement,
-            max_retries=breed.max_retries,
-        )
+        # dataclasses.replace keeps every non-overridden field — including
+        # ones added to BreedConfig after this function was written.
+        breed = replace(breed, **breed_kwargs)
     return replace(base, breed=breed, **run_kwargs)
 
 
@@ -73,40 +66,89 @@ class StudyRunner:
     study_name: str = "study"
     #: optional callback invoked after each run, e.g. for progress reporting
     on_result: Optional[Callable[[RunResult], None]] = None
+    _workload: Optional[Workload] = field(default=None, repr=False)
     _solver: Optional[Solver] = field(default=None, repr=False)
     _validation: Optional[ValidationSet] = field(default=None, repr=False)
+    #: per-override-workload cache: key → (solver, validation set)
+    _override_inputs: Dict[Any, tuple] = field(default_factory=dict, repr=False)
 
     # -------------------------------------------------------------- sharing
+    def shared_workload(self) -> Workload:
+        if self._workload is None:
+            self._workload = self.base_config.build_workload()
+        return self._workload
+
     def shared_solver(self) -> Solver:
         if self._solver is None:
-            self._solver = Heat2DImplicitSolver(self.base_config.heat)
+            self._solver = self.shared_workload().build_solver()
         return self._solver
 
     def shared_validation_set(self) -> Optional[ValidationSet]:
         if self.base_config.n_validation_trajectories <= 0:
             return None
         if self._validation is None:
-            scalers = SurrogateScalers.for_heat2d(
-                self.base_config.bounds, self.base_config.heat.n_timesteps
-            )
+            workload = self.shared_workload()
             self._validation = build_validation_set(
                 solver=self.shared_solver(),
-                bounds=self.base_config.bounds,
-                scalers=scalers,
+                bounds=workload.bounds,
+                scalers=workload.build_scalers(),
                 n_trajectories=self.base_config.n_validation_trajectories,
             )
         return self._validation
+
+    def _matches_shared_workload(self, config: OnlineTrainingConfig) -> bool:
+        """Whether the shared solver/validation set apply to ``config``.
+
+        Overrides that change the workload (or its geometry) must not inherit
+        the base scenario's solver — a heat2d solver cannot execute heat1d
+        parameter vectors.
+        """
+        base = self.base_config
+        return (
+            config.workload == base.workload
+            and config.workload_options == base.workload_options
+            and config.heat == base.heat
+            and config.bounds == base.bounds
+        )
 
     # -------------------------------------------------------------- running
     def run_one(self, name: str, overrides: Dict[str, Any]) -> tuple[RunResult, OnlineTrainingResult]:
         """Run a single configuration and convert it into a :class:`RunResult`."""
         config = apply_overrides(self.base_config, overrides)
+        if self._matches_shared_workload(config):
+            solver = self.shared_solver()
+            validation = self.shared_validation_set()
+        else:
+            # Cache per distinct scenario so multi-workload studies still
+            # share the expensive solver factorisation and validation set.
+            # repr-ed options keep the key hashable for arbitrary
+            # JSON-style values (lists, nested dicts).
+            key = (
+                config.workload,
+                repr(sorted(config.workload_options.items())),
+                config.heat,
+                config.bounds,
+                config.n_validation_trajectories,
+            )
+            if key not in self._override_inputs:
+                workload = config.build_workload()
+                solver = workload.build_solver()
+                validation = None
+                if config.n_validation_trajectories > 0:
+                    validation = build_validation_set(
+                        solver=solver,
+                        bounds=workload.bounds,
+                        scalers=workload.build_scalers(),
+                        n_trajectories=config.n_validation_trajectories,
+                    )
+                self._override_inputs[key] = (solver, validation)
+            solver, validation = self._override_inputs[key]
         timer = Timer(name=name)
         with timer.span():
             result = run_online_training(
                 config,
-                solver=self.shared_solver(),
-                validation_set=self.shared_validation_set(),
+                solver=solver,
+                validation_set=validation,
             )
         record = RunResult(
             name=name,

@@ -8,6 +8,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.nn",
     "repro.solvers",
     "repro.sampling",
@@ -42,6 +43,9 @@ def test_top_level_convenience_exports():
     assert callable(repro.run_online_training)
     assert repro.OnlineTrainingConfig is not None
     assert repro.OnlineTrainingResult is not None
+    assert repro.TrainingSession is not None
+    assert callable(repro.register_workload)
+    assert {"heat2d", "heat1d", "analytic"} <= set(repro.workload_names())
 
 
 def test_examples_are_syntactically_valid():
