@@ -24,7 +24,7 @@ GRIDS = {
 
 
 @pytest.mark.benchmark(group="fig3a", min_rounds=1, max_time=1.0, warmup=False)
-def test_fig3a_architecture_study(benchmark, repro_scale):
+def test_fig3a_architecture_study(benchmark, repro_scale, repro_backend, repro_jobs):
     hidden_sizes, layer_counts = GRIDS.get(repro_scale, GRIDS["smoke"])
 
     result = benchmark.pedantic(
@@ -34,6 +34,8 @@ def test_fig3a_architecture_study(benchmark, repro_scale):
             "hidden_sizes": hidden_sizes,
             "layer_counts": layer_counts,
             "seed": 0,
+            "backend": repro_backend,
+            "max_workers": repro_jobs,
         },
         rounds=1,
         iterations=1,

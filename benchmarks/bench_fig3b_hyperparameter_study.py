@@ -17,12 +17,18 @@ from repro.experiments.fig3b import PAPER_FACTORS, SMOKE_FACTORS, run_fig3b
 
 
 @pytest.mark.benchmark(group="fig3b", min_rounds=1, max_time=1.0, warmup=False)
-def test_fig3b_hyperparameter_study(benchmark, repro_scale):
+def test_fig3b_hyperparameter_study(benchmark, repro_scale, repro_backend, repro_jobs):
     factors = SMOKE_FACTORS if repro_scale == "smoke" else PAPER_FACTORS
 
     result = benchmark.pedantic(
         run_fig3b,
-        kwargs={"scale": repro_scale, "factors": factors, "seed": 0},
+        kwargs={
+            "scale": repro_scale,
+            "factors": factors,
+            "seed": 0,
+            "backend": repro_backend,
+            "max_workers": repro_jobs,
+        },
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,83 @@
+"""Parallel study execution — serial vs process-pool executor backends.
+
+The paper's studies are grids of independent Melissa runs (Appendix B.2);
+the study engine fans them out over a ``ProcessPoolExecutor``.  This bench
+runs the same multi-configuration study through both backends, checks the
+records are bit-identical (excluding the wall-clock timing metrics), and
+reports the wall-clock speedup.  On a single-core host the process backend
+only adds pool overhead, so the speedup assertion is gated on the cores
+actually available to the process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.experiments.base import base_config
+from repro.experiments.fig3b import SMOKE_FACTORS, fig3b_configurations
+from repro.workflow.executor import TIMING_METRICS
+from repro.workflow.study import StudyRunner
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def _run_study(scale: str, backend: str, max_workers: int | None = None):
+    template = base_config(scale, method="breed", seed=0)
+    runner = StudyRunner(
+        base_config=template, study_name="parallel", backend=backend, max_workers=max_workers
+    )
+    configurations = fig3b_configurations(SMOKE_FACTORS)
+    start = time.perf_counter()
+    results = runner.run_all(configurations)
+    return results, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="parallel-study", min_rounds=1, max_time=1.0, warmup=False)
+def test_parallel_study_speedup(benchmark, repro_scale, repro_jobs):
+    workers = max(repro_jobs, 2)
+    serial_results, serial_seconds = _run_study(repro_scale, "serial")
+    (process_results, process_seconds) = benchmark.pedantic(
+        _run_study,
+        kwargs={"scale": repro_scale, "backend": "process", "max_workers": workers},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Determinism contract: the two backends must agree bit-for-bit on every
+    # metric and series (timing metrics measure wall-clock and are excluded).
+    assert len(serial_results) == len(process_results)
+    for serial_run, process_run in zip(serial_results, process_results):
+        assert serial_run.name == process_run.name
+        assert serial_run.series == process_run.series
+        for key, value in serial_run.metrics.items():
+            if key not in TIMING_METRICS:
+                assert process_run.metrics[key] == value, (serial_run.name, key)
+
+    speedup = serial_seconds / process_seconds if process_seconds > 0 else float("inf")
+    emit(
+        f"Parallel study — serial vs process backend ({repro_scale} scale, "
+        f"{len(serial_results)} runs, {workers} workers, {_available_cpus()} CPUs available)",
+        format_table(
+            ["backend", "wall-clock (s)", "speedup"],
+            [
+                ("serial", f"{serial_seconds:.2f}", "1.00x"),
+                (f"process x{workers}", f"{process_seconds:.2f}", f"{speedup:.2f}x"),
+            ],
+        ),
+    )
+
+    if _available_cpus() >= 2:
+        assert speedup > 1.0, (
+            f"process backend with {workers} workers should beat serial on "
+            f"{_available_cpus()} CPUs ({process_seconds:.2f}s vs {serial_seconds:.2f}s)"
+        )

@@ -19,11 +19,28 @@ def pytest_addoption(parser):
         choices=["smoke", "small", "paper"],
         help="experiment scale used by the figure-reproduction benches",
     )
+    parser.addoption(
+        "--repro-jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="worker count for the study benches (>1 selects the process executor backend)",
+    )
 
 
 @pytest.fixture(scope="session")
 def repro_scale(request) -> str:
     return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def repro_jobs(request) -> int:
+    return request.config.getoption("--repro-jobs")
+
+
+@pytest.fixture(scope="session")
+def repro_backend(repro_jobs) -> str:
+    return "process" if repro_jobs > 1 else "serial"
 
 
 def emit(title: str, body: str) -> None:

@@ -36,7 +36,12 @@ Package layout
     The multi-parametric direct surrogate MLP, its scalers, offline datasets
     and the fixed Halton validation set.
 ``repro.workflow``
-    Parameter-grid study orchestration (Snakemake substitute).
+    Parameter-grid study orchestration (Snakemake substitute): grids, the
+    pluggable serial/process executor backends with JSONL checkpoint/resume,
+    and the :class:`~repro.workflow.study.StudyRunner` driving them.
+``repro.cli``
+    The ``repro`` console script launching any registered experiment at any
+    scale with any executor backend.
 ``repro.analysis``
     Figure/series generation: loss curves, parameter-deviation histograms and
     the loss-statistics correlation matrix.
@@ -44,7 +49,7 @@ Package layout
     One module per paper table/figure, reproducing its rows/series.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.melissa.run import (
     OnlineTrainingConfig,

@@ -16,7 +16,13 @@ import numpy as np
 from repro.melissa.server import TrainingHistory
 from repro.utils.moving_average import moving_average
 
-__all__ = ["LossCurve", "curve_from_history", "downsample_series", "overfit_metrics"]
+__all__ = [
+    "LossCurve",
+    "curve_from_history",
+    "curve_from_series",
+    "downsample_series",
+    "overfit_metrics",
+]
 
 #: smoothing window used by the paper's Figure 3 ("a moving window of 40 iterations")
 PAPER_SMOOTHING_WINDOW = 40
@@ -63,6 +69,34 @@ def curve_from_history(
 ) -> LossCurve:
     """Build a :class:`LossCurve` from a server training history."""
     train_iters, train_losses, val_iters, val_losses = history.as_arrays()
+    return curve_from_series(
+        {
+            "train_iterations": train_iters,
+            "train_losses": train_losses,
+            "validation_iterations": val_iters,
+            "validation_losses": val_losses,
+        },
+        label=label,
+        smoothing_window=smoothing_window,
+    )
+
+
+def curve_from_series(
+    series: Dict[str, Sequence[float]],
+    label: str,
+    smoothing_window: int = PAPER_SMOOTHING_WINDOW,
+) -> LossCurve:
+    """Build a :class:`LossCurve` from a ``RunResult.series`` mapping.
+
+    The study engine ships runs across process boundaries as plain
+    ``train_iterations`` / ``train_losses`` / ``validation_iterations`` /
+    ``validation_losses`` lists; this rebuilds the same curve
+    :func:`curve_from_history` produces in-process.
+    """
+    train_iters = np.asarray(series.get("train_iterations", ()), dtype=np.float64)
+    train_losses = np.asarray(series.get("train_losses", ()), dtype=np.float64)
+    val_iters = np.asarray(series.get("validation_iterations", ()), dtype=np.float64)
+    val_losses = np.asarray(series.get("validation_losses", ()), dtype=np.float64)
     smoothed = (
         moving_average(train_losses, smoothing_window) if train_losses.size else train_losses.copy()
     )

@@ -81,6 +81,8 @@ class OnlineTrainingResult:
     n_ticks: int
     steering_seconds: float
     workload: str = "heat2d"
+    #: messages rejected by bounded transport channels (back-pressure)
+    transport_dropped: int = 0
 
     @property
     def final_validation_loss(self) -> float:
@@ -353,4 +355,5 @@ class TrainingSession:
             n_ticks=self.n_ticks,
             steering_seconds=self.controller.total_steering_seconds,
             workload=self.workload_name,
+            transport_dropped=self.transport.total_dropped(),
         )

@@ -1,0 +1,278 @@
+"""``repro`` — command-line launcher for the paper-reproduction experiments.
+
+The CLI is the user-facing face of the study-execution engine
+(:mod:`repro.workflow.executor`): it can launch any registered experiment at
+any scale with any executor backend, write results under an output directory,
+and resume interrupted studies from their JSONL checkpoints::
+
+    python -m repro.cli fig3b --scale smoke --jobs 8 --out results/
+    python -m repro.cli fig3a --scale small --jobs 4 --resume results/fig3a_small.runs.jsonl
+    python -m repro.cli table1
+    repro --list                       # installed console script
+
+Study-shaped experiments (fig3a, fig3b) honour ``--jobs``/``--backend`` and
+checkpoint each run as it finishes; the single/dual-run experiments (fig4,
+fig6, overhead) need the full in-process results and always run serially.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.report import format_table
+from repro.experiments.base import SCALES
+
+__all__ = ["EXPERIMENTS", "Experiment", "main"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One launchable experiment: a runner plus CLI metadata."""
+
+    name: str
+    help: str
+    run: Callable[[argparse.Namespace], Dict[str, object]]
+    #: whether --jobs/--backend/--resume apply (study-shaped experiments)
+    parallel: bool = False
+
+
+def _resolve_backend(args: argparse.Namespace) -> tuple[str, Optional[int]]:
+    """Backend name and worker count from ``--backend``/``--jobs``.
+
+    ``--backend`` wins when given; otherwise ``--jobs N`` with ``N > 1``
+    selects the process backend.
+    """
+    jobs: Optional[int] = args.jobs
+    if args.backend is not None:
+        return args.backend, jobs
+    if jobs is not None and jobs > 1:
+        return "process", jobs
+    return "serial", jobs
+
+
+def _out_dir(args: argparse.Namespace) -> Path:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def _checkpoint_path(args: argparse.Namespace, experiment: str) -> Path:
+    """Checkpoint file of this invocation, started fresh unless resuming.
+
+    Without ``--resume`` the file describes *this* invocation only — stale
+    records from previous runs (possibly with other seeds) must not
+    accumulate, or a later ``--resume`` would splice in whichever happened
+    to be written last.
+    """
+    path = _out_dir(args) / f"{experiment}_{args.scale}.runs.jsonl"
+    resuming_from_it = args.resume is not None and Path(args.resume).resolve() == path.resolve()
+    if path.exists() and not resuming_from_it:
+        path.unlink()
+    return path
+
+
+def _save_study(args: argparse.Namespace, experiment: str, study) -> Path:
+    path = _out_dir(args) / f"{experiment}_{args.scale}.json"
+    study.save_json(path)
+    return path
+
+
+def _save_summary(args: argparse.Namespace, experiment: str, summary: Dict[str, object]) -> Path:
+    path = _out_dir(args) / f"{experiment}_{args.scale}.json"
+    path.write_text(json.dumps(summary, indent=2, default=float))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Experiment runners
+# ---------------------------------------------------------------------------
+
+
+def _run_fig3a(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.experiments.fig3a import PAPER_HIDDEN_SIZES, PAPER_LAYER_COUNTS, run_fig3a
+
+    backend, jobs = _resolve_backend(args)
+    hidden_sizes = args.hidden or list(PAPER_HIDDEN_SIZES)
+    layer_counts = args.layers or list(PAPER_LAYER_COUNTS)
+    result = run_fig3a(
+        scale=args.scale,
+        hidden_sizes=hidden_sizes,
+        layer_counts=layer_counts,
+        seed=args.seed,
+        backend=backend,
+        max_workers=jobs,
+        checkpoint=_checkpoint_path(args, "fig3a"),
+        resume=args.resume,
+    )
+    print(format_table(
+        ["architecture", "method", "train MSE", "validation MSE", "gap (val-train)"],
+        [
+            (label, method, f"{train:.5f}", f"{val:.5f}", f"{gap:+.5f}")
+            for label, method, train, val, gap in result.summary_rows()
+        ],
+    ))
+    path = _save_study(args, "fig3a", result.study)
+    return {"experiment": "fig3a", "runs": len(result.study.runs), "results": str(path)}
+
+
+def _run_fig3b(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.experiments.fig3b import PAPER_FACTORS, SMOKE_FACTORS, run_fig3b
+
+    backend, jobs = _resolve_backend(args)
+    factors = dict(SMOKE_FACTORS if args.scale == "smoke" else PAPER_FACTORS)
+    if args.factor:
+        unknown = sorted(set(args.factor) - set(factors))
+        if unknown:
+            raise SystemExit(f"unknown factor(s) {unknown}; options: {sorted(factors)}")
+        factors = {name: factors[name] for name in args.factor}
+    result = run_fig3b(
+        scale=args.scale,
+        factors=factors,
+        seed=args.seed,
+        backend=backend,
+        max_workers=jobs,
+        checkpoint=_checkpoint_path(args, "fig3b"),
+        resume=args.resume,
+    )
+    print(format_table(
+        ["hyper-parameter", "value", "train MSE", "validation MSE", "gap (val-train)"],
+        [
+            (factor, f"{value:g}", f"{train:.5f}", f"{val:.5f}", f"{gap:+.5f}")
+            for factor, value, train, val, gap in result.summary_rows()
+        ],
+    ))
+    path = _save_study(args, "fig3b", result.study)
+    return {"experiment": "fig3b", "runs": len(result.study.runs), "results": str(path)}
+
+
+def _run_fig4(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.experiments.fig4 import run_fig4
+
+    result = run_fig4(scale=args.scale, seed=args.seed)
+    summary = result.summary()
+    print(format_table(["metric", "value"], [(k, f"{v:.5f}") for k, v in summary.items()]))
+    path = _save_summary(args, "fig4", summary)
+    return {"experiment": "fig4", "results": str(path)}
+
+
+def _run_fig6(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.experiments.fig6 import run_fig6
+
+    result = run_fig6(scale=args.scale, seed=args.seed)
+    findings = result.key_findings()
+    checks = result.checks()
+    print(format_table(["correlation", "value"], [(k, f"{v:+.3f}") for k, v in findings.items()]))
+    print(format_table(["check", "ok"], [(k, str(v)) for k, v in checks.items()]))
+    path = _save_summary(args, "fig6", {"key_findings": findings, "checks": checks})
+    return {"experiment": "fig6", "results": str(path)}
+
+
+def _run_overhead(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.experiments.overhead import run_overhead
+
+    result = run_overhead(scale=args.scale, seed=args.seed)
+    summary = result.summary()
+    print(format_table(["metric", "value"], [(k, f"{v:.5f}") for k, v in summary.items()]))
+    print(f"overhead negligible: {result.overhead_is_negligible}")
+    path = _save_summary(args, "overhead", summary)
+    return {"experiment": "overhead", "results": str(path)}
+
+
+def _run_table1(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.experiments.table1 import render_table1
+
+    table = render_table1()
+    print(table)
+    path = _out_dir(args) / "table1.txt"
+    path.write_text(table + "\n")
+    return {"experiment": "table1", "results": str(path)}
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "fig3a": Experiment("fig3a", "architecture study, Breed vs Random", _run_fig3a, parallel=True),
+    "fig3b": Experiment("fig3b", "Breed hyper-parameter study", _run_fig3b, parallel=True),
+    "fig4": Experiment("fig4", "input-parameter deviation histograms", _run_fig4),
+    "fig6": Experiment("fig6", "training-statistics correlation matrix", _run_fig6),
+    "overhead": Experiment("overhead", "steering-overhead measurement", _run_overhead),
+    "table1": Experiment("table1", "fixed hyper-parameters per study", _run_table1),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Launch the paper-reproduction experiments through the study engine.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS),
+        help="experiment to run (see --list)",
+    )
+    parser.add_argument("--list", action="store_true", help="list registered experiments and exit")
+    parser.add_argument("--scale", default="smoke", choices=sorted(SCALES), help="experiment scale preset")
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker count; N > 1 implies --backend process")
+    parser.add_argument("--backend", choices=["serial", "process"], default=None,
+                        help="executor backend (default: serial, or process when --jobs > 1)")
+    parser.add_argument("--out", default="results", metavar="DIR",
+                        help="output directory for result JSON and checkpoints (default: results/)")
+    parser.add_argument("--resume", default=None, metavar="JSONL",
+                        help="JSONL checkpoint of a previous invocation; completed runs are skipped")
+    parser.add_argument("--factor", action="append", default=None, metavar="NAME",
+                        help="fig3b: restrict to this hyper-parameter (repeatable)")
+    parser.add_argument("--hidden", action="append", type=int, default=None, metavar="H",
+                        help="fig3a: restrict hidden sizes (repeatable)")
+    parser.add_argument("--layers", action="append", type=int, default=None, metavar="L",
+                        help="fig3a: restrict layer counts (repeatable)")
+    return parser
+
+
+def _list_experiments() -> str:
+    rows = [
+        (name, "study" if exp.parallel else "single", exp.help)
+        for name, exp in sorted(EXPERIMENTS.items())
+    ]
+    return format_table(["experiment", "kind", "description"], rows)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        print(_list_experiments())
+        return 0
+    if args.experiment is None:
+        parser.print_usage(sys.stderr)
+        print("repro: specify an experiment or --list", file=sys.stderr)
+        return 2
+    experiment = EXPERIMENTS[args.experiment]
+    if not experiment.parallel:
+        ignored = [
+            flag
+            for flag, value in (
+                ("--jobs", args.jobs is not None and args.jobs > 1),
+                ("--backend", args.backend == "process"),
+                ("--resume", args.resume is not None),
+            )
+            if value
+        ]
+        if ignored:
+            print(
+                f"note: {experiment.name} needs full in-process results; "
+                f"running serially from scratch ({', '.join(ignored)} ignored)",
+                file=sys.stderr,
+            )
+    outcome = experiment.run(args)
+    print(json.dumps(outcome))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

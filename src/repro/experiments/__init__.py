@@ -19,8 +19,15 @@ from repro.experiments.base import (
     scaled_breed_config,
     shared_study_inputs,
 )
-from repro.experiments.fig3a import Fig3aCell, Fig3aResult, run_fig3a
-from repro.experiments.fig3b import PAPER_FACTORS, SMOKE_FACTORS, Fig3bPanel, Fig3bResult, run_fig3b
+from repro.experiments.fig3a import Fig3aCell, Fig3aResult, fig3a_configurations, run_fig3a
+from repro.experiments.fig3b import (
+    PAPER_FACTORS,
+    SMOKE_FACTORS,
+    Fig3bPanel,
+    Fig3bResult,
+    fig3b_configurations,
+    run_fig3b,
+)
 from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.fig6 import Fig6Result, run_fig6
 from repro.experiments.overhead import OverheadResult, run_overhead
@@ -34,11 +41,13 @@ __all__ = [
     "shared_study_inputs",
     "Fig3aCell",
     "Fig3aResult",
+    "fig3a_configurations",
     "run_fig3a",
     "PAPER_FACTORS",
     "SMOKE_FACTORS",
     "Fig3bPanel",
     "Fig3bResult",
+    "fig3b_configurations",
     "run_fig3b",
     "Fig4Result",
     "run_fig4",

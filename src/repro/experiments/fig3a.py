@@ -8,22 +8,30 @@ most visibly for ``H=16, L=3``) while Breed's two curves stay close.
 
 This module regenerates the same grid of runs (at a configurable scale) and
 summarises, per cell, the final train/validation losses and the overfit gap.
+The grid is executed through the :class:`~repro.workflow.study.StudyRunner`
+engine, so it can fan out over a process pool (``backend="process"``) and
+checkpoint/resume through JSONL files.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis.curves import LossCurve, curve_from_history
-from repro.experiments.base import base_config, shared_study_inputs
-from repro.melissa.run import OnlineTrainingResult, run_online_training
+from repro.analysis.curves import LossCurve, curve_from_series
+from repro.experiments.base import base_config
+from repro.workflow.results import StudyResults
+from repro.workflow.study import StudyRunner
 
-__all__ = ["Fig3aCell", "Fig3aResult", "run_fig3a"]
+__all__ = ["Fig3aCell", "Fig3aResult", "fig3a_configurations", "run_fig3a"]
 
 #: the paper's architecture grid
 PAPER_HIDDEN_SIZES: Tuple[int, ...] = (16, 32, 64)
 PAPER_LAYER_COUNTS: Tuple[int, ...] = (1, 2, 3)
+
+#: method registry key → figure legend label
+_METHOD_LABELS = {"breed": "Breed", "random": "Random"}
 
 
 @dataclass
@@ -62,6 +70,8 @@ class Fig3aResult:
 
     cells: List[Fig3aCell]
     scale: str
+    #: raw study records behind the cells (serializable via ``save_json``)
+    study: Optional[StudyResults] = None
 
     def cell(self, hidden_size: int, n_layers: int) -> Fig3aCell:
         for cell in self.cells:
@@ -80,33 +90,53 @@ class Fig3aResult:
         return sum(gaps) / len(gaps) if gaps else float("nan")
 
 
+def fig3a_configurations(
+    hidden_sizes: Sequence[int] = PAPER_HIDDEN_SIZES,
+    layer_counts: Sequence[int] = PAPER_LAYER_COUNTS,
+    methods: Sequence[str] = ("breed", "random"),
+) -> List[Dict[str, Any]]:
+    """Expand the architecture grid into study-override dicts."""
+    configurations: List[Dict[str, Any]] = []
+    for hidden in hidden_sizes:
+        for layers in layer_counts:
+            for method in methods:
+                configurations.append(
+                    {
+                        "_name": f"H{hidden}-L{layers}-{method}",
+                        "hidden_size": int(hidden),
+                        "n_hidden_layers": int(layers),
+                        "method": method,
+                    }
+                )
+    return configurations
+
+
 def run_fig3a(
     scale: str = "smoke",
     hidden_sizes: Sequence[int] = PAPER_HIDDEN_SIZES,
     layer_counts: Sequence[int] = PAPER_LAYER_COUNTS,
     methods: Sequence[str] = ("breed", "random"),
     seed: int = 0,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: Optional[Union[str, Path]] = None,
 ) -> Fig3aResult:
     """Run the architecture study and return its loss curves."""
     template = base_config(scale, method="breed", seed=seed)
-    # Shared solver and validation set across every run of the study.
-    _, solver, validation = shared_study_inputs(template)
+    runner = StudyRunner(
+        base_config=template, study_name="fig3a", backend=backend, max_workers=max_workers
+    )
+    configurations = fig3a_configurations(hidden_sizes, layer_counts, methods)
+    study = runner.run_all(configurations, name_key="_name", checkpoint=checkpoint, resume=resume)
+
     cells: List[Fig3aCell] = []
     for hidden in hidden_sizes:
         for layers in layer_counts:
             cell = Fig3aCell(hidden_size=hidden, n_layers=layers)
-            for method in methods:
-                config = replace(
-                    template,
-                    method=method,
-                    hidden_size=hidden,
-                    n_hidden_layers=layers,
-                    seed=seed,
-                )
-                result: OnlineTrainingResult = run_online_training(
-                    config, solver=solver, validation_set=validation
-                )
-                label = "Breed" if method == "breed" else "Random"
-                cell.curves[label] = curve_from_history(result.history, label=f"{cell.label} {label}")
+            for run in study.filter(hidden_size=hidden, n_hidden_layers=layers):
+                method = run.config["method"]
+                label = _METHOD_LABELS.get(method, method)
+                cell.curves[label] = curve_from_series(run.series, label=f"{cell.label} {label}")
             cells.append(cell)
-    return Fig3aResult(cells=cells, scale=scale)
+    return Fig3aResult(cells=cells, scale=scale, study=study)

@@ -5,19 +5,32 @@ the Table-1 values (studies 2 and 3): window ``N``, period ``P``, width ``σ``,
 and the mixing triplet ``(r_s, r_e, r_c)``.  Each configuration is one Breed
 run whose train/validation curves are reported with the varied value as the
 legend entry.
+
+The one-factor-at-a-time grid is executed through the
+:class:`~repro.workflow.study.StudyRunner` engine — every configuration is an
+independent run, so ``backend="process"`` parallelises the whole figure and
+``resume=`` restarts a killed study where it left off.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.analysis.curves import LossCurve, curve_from_history
-from repro.experiments.base import base_config, shared_study_inputs
-from repro.melissa.run import run_online_training
-from repro.workflow.study import apply_overrides
+from repro.analysis.curves import LossCurve, curve_from_series
+from repro.experiments.base import base_config
+from repro.workflow.results import StudyResults
+from repro.workflow.study import StudyRunner
 
-__all__ = ["PAPER_FACTORS", "SMOKE_FACTORS", "Fig3bPanel", "Fig3bResult", "run_fig3b"]
+__all__ = [
+    "PAPER_FACTORS",
+    "SMOKE_FACTORS",
+    "Fig3bPanel",
+    "Fig3bResult",
+    "fig3b_configurations",
+    "run_fig3b",
+]
 
 #: the paper's per-hyper-parameter value grids (Section 4.1)
 PAPER_FACTORS: Dict[str, Sequence[float]] = {
@@ -38,6 +51,9 @@ SMOKE_FACTORS: Dict[str, Sequence[float]] = {
     "r_end": [0.7, 0.9],
     "r_breakpoint": [2, 4],
 }
+
+#: hyper-parameters that take integer values
+_INTEGER_FACTORS = frozenset({"window", "period", "r_breakpoint"})
 
 
 @dataclass
@@ -64,6 +80,8 @@ class Fig3bPanel:
 class Fig3bResult:
     panels: List[Fig3bPanel]
     scale: str
+    #: raw study records behind the panels (serializable via ``save_json``)
+    study: Optional[StudyResults] = None
 
     def panel(self, factor: str) -> Fig3bPanel:
         for panel in self.panels:
@@ -78,31 +96,53 @@ class Fig3bResult:
         return rows
 
 
+def fig3b_configurations(
+    factors: Mapping[str, Sequence[float]], seed: int = 0
+) -> List[Dict[str, Any]]:
+    """Expand the one-factor-at-a-time grids into study-override dicts.
+
+    The paper fixes H=16, L=1 for these studies (Table 1, studies 2-3).
+    """
+    configurations: List[Dict[str, Any]] = []
+    for factor, values in factors.items():
+        for value in values:
+            configurations.append(
+                {
+                    "_factor": factor,
+                    "_value": value,
+                    "hidden_size": 16,
+                    "n_hidden_layers": 1,
+                    factor: int(value) if factor in _INTEGER_FACTORS else float(value),
+                    "seed": seed,
+                }
+            )
+    return configurations
+
+
 def run_fig3b(
     scale: str = "smoke",
     factors: Mapping[str, Sequence[float]] | None = None,
     seed: int = 0,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: Optional[Union[str, Path]] = None,
 ) -> Fig3bResult:
     """Run the hyper-parameter study (one factor at a time)."""
     if factors is None:
         factors = SMOKE_FACTORS if scale == "smoke" else PAPER_FACTORS
-    # The paper fixes H=16, L=1 for these studies.
     template = base_config(scale, method="breed", seed=seed)
-    _, solver, validation = shared_study_inputs(template)
+    runner = StudyRunner(
+        base_config=template, study_name="fig3b", backend=backend, max_workers=max_workers
+    )
+    configurations = fig3b_configurations(factors, seed=seed)
+    study = runner.run_all(configurations, checkpoint=checkpoint, resume=resume)
+
     panels: List[Fig3bPanel] = []
-    for factor, values in factors.items():
+    for factor in factors:
         panel = Fig3bPanel(factor=factor)
-        for value in values:
-            overrides = {
-                "hidden_size": 16,
-                "n_hidden_layers": 1,
-                factor: int(value) if factor in ("window", "period", "r_breakpoint") else float(value),
-                "seed": seed,
-            }
-            config = apply_overrides(template, overrides)
-            result = run_online_training(config, solver=solver, validation_set=validation)
-            panel.curves[float(value)] = curve_from_history(
-                result.history, label=f"{factor}={value}"
-            )
+        for run in study.filter(_factor=factor):
+            value = float(run.config["_value"])
+            panel.curves[value] = curve_from_series(run.series, label=f"{factor}={run.config['_value']}")
         panels.append(panel)
-    return Fig3bResult(panels=panels, scale=scale)
+    return Fig3bResult(panels=panels, scale=scale, study=study)

@@ -14,12 +14,13 @@ dissimilar, i.e. where trajectories are most dynamic and hardest to learn.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.analysis.deviation import DeviationHistogram, compare_runs, histogram_by_source
-from repro.experiments.base import base_config, shared_study_inputs
-from repro.melissa.run import OnlineTrainingResult, run_online_training
+from repro.experiments.base import base_config
+from repro.melissa.run import OnlineTrainingResult
+from repro.workflow.study import StudyRunner
 
 __all__ = ["Fig4Result", "run_fig4"]
 
@@ -58,14 +59,20 @@ class Fig4Result:
 
 
 def run_fig4(scale: str = "smoke", seed: int = 0, n_bins: int = 16) -> Fig4Result:
-    """Run one Random and one Breed experiment and build the Figure-4 histograms."""
+    """Run one Random and one Breed experiment and build the Figure-4 histograms.
+
+    The histograms need the executed parameter vectors of the full
+    :class:`OnlineTrainingResult`, so both runs go through the study engine's
+    serial backend, which keeps them in-process.
+    """
     breed_config = base_config(scale, method="breed", seed=seed)
-    random_config = replace(breed_config, method="random")
-
-    _, solver, validation = shared_study_inputs(breed_config)
-
-    breed_run = run_online_training(breed_config, solver=solver, validation_set=validation)
-    random_run = run_online_training(random_config, solver=solver, validation_set=validation)
+    runner = StudyRunner(base_config=breed_config, study_name="fig4")
+    runner.run_all(
+        [{"_name": "breed", "method": "breed"}, {"_name": "random", "method": "random"}],
+        name_key="_name",
+    )
+    breed_run = runner.full_results["fig4:breed"]
+    random_run = runner.full_results["fig4:random"]
 
     by_source = histogram_by_source(
         breed_run.executed_parameters, breed_run.parameter_sources, n_bins=n_bins

@@ -20,9 +20,9 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.analysis.correlation import CorrelationMatrix, correlation_matrix
-from repro.api.session import TrainingSession
 from repro.experiments.base import base_config
 from repro.melissa.run import OnlineTrainingResult
+from repro.workflow.study import StudyRunner
 
 __all__ = ["Fig6Result", "run_fig6"]
 
@@ -49,8 +49,15 @@ class Fig6Result:
 
 
 def run_fig6(scale: str = "smoke", seed: int = 0) -> Fig6Result:
-    """Run one Breed experiment with statistics recording and build the matrix."""
+    """Run one Breed experiment with statistics recording and build the matrix.
+
+    The correlation matrix needs the full per-sample statistics history, so
+    the run goes through the study engine's serial backend, which keeps the
+    complete :class:`OnlineTrainingResult` in-process.
+    """
     config = base_config(scale, method="breed", seed=seed, record_sample_statistics=True)
-    run = TrainingSession(config).run()
+    runner = StudyRunner(base_config=config, study_name="fig6")
+    runner.run_all([{"_name": "breed"}], name_key="_name")
+    run = runner.full_results["fig6:breed"]
     matrix = correlation_matrix(run.history.sample_statistics)
     return Fig6Result(matrix=matrix, run=run, scale=scale)

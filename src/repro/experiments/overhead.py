@@ -10,11 +10,12 @@ identical budgets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict
 
-from repro.experiments.base import base_config, shared_study_inputs
-from repro.melissa.run import OnlineTrainingResult, run_online_training
+from repro.experiments.base import base_config
+from repro.melissa.run import OnlineTrainingResult
+from repro.workflow.study import StudyRunner
 
 __all__ = ["OverheadResult", "run_overhead"]
 
@@ -41,6 +42,10 @@ class OverheadResult:
             ),
             "random_final_validation": self.random_run.final_validation_loss,
             "breed_final_validation": self.breed_run.final_validation_loss,
+            # Back-pressure observability: messages a bounded data channel
+            # rejected (0 for the default unbounded in-process transport).
+            "random_dropped_messages": float(self.random_run.transport_dropped),
+            "breed_dropped_messages": float(self.breed_run.transport_dropped),
         }
 
     @property
@@ -54,10 +59,19 @@ class OverheadResult:
 
 
 def run_overhead(scale: str = "smoke", seed: int = 0) -> OverheadResult:
-    """Run matched Random/Breed experiments and record steering overhead."""
+    """Run matched Random/Breed experiments and record steering overhead.
+
+    The wall-clock decomposition needs the full results, so both runs go
+    through the study engine's serial backend, which keeps them in-process.
+    """
     breed_config = base_config(scale, method="breed", seed=seed)
-    random_config = replace(breed_config, method="random")
-    _, solver, validation = shared_study_inputs(breed_config)
-    breed_run = run_online_training(breed_config, solver=solver, validation_set=validation)
-    random_run = run_online_training(random_config, solver=solver, validation_set=validation)
-    return OverheadResult(random_run=random_run, breed_run=breed_run, scale=scale)
+    runner = StudyRunner(base_config=breed_config, study_name="overhead")
+    runner.run_all(
+        [{"_name": "breed", "method": "breed"}, {"_name": "random", "method": "random"}],
+        name_key="_name",
+    )
+    return OverheadResult(
+        random_run=runner.full_results["overhead:random"],
+        breed_run=runner.full_results["overhead:breed"],
+        scale=scale,
+    )

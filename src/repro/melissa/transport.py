@@ -20,17 +20,25 @@ __all__ = ["Channel", "InProcessTransport", "TransportStats"]
 
 @dataclass
 class TransportStats:
-    """Counters of messages/bytes that flowed through a channel."""
+    """Counters of messages/bytes that flowed through a channel.
+
+    ``n_dropped`` counts messages a bounded channel *rejected* (``put``
+    returned ``False``), making back-pressure observable in overhead reports.
+    """
 
     n_messages: int = 0
     n_bytes: int = 0
     max_depth: int = 0
+    n_dropped: int = 0
 
     def record(self, message: Message, depth: int) -> None:
         self.n_messages += 1
         if isinstance(message, TimeStepMessage):
             self.n_bytes += message.nbytes
         self.max_depth = max(self.max_depth, depth)
+
+    def record_drop(self) -> None:
+        self.n_dropped += 1
 
 
 class Channel:
@@ -49,6 +57,7 @@ class Channel:
 
     def put(self, message: Message) -> bool:
         if self.maxsize and len(self._queue) >= self.maxsize:
+            self.stats.record_drop()
             return False
         self._queue.append(message)
         self.stats.record(message, len(self._queue))
@@ -121,3 +130,6 @@ class InProcessTransport:
 
     def total_messages(self) -> int:
         return sum(c.stats.n_messages for c in self.channels.values())
+
+    def total_dropped(self) -> int:
+        return sum(c.stats.n_dropped for c in self.channels.values())

@@ -1,0 +1,403 @@
+"""Pluggable study-execution engine: run specs, executor backends, checkpoints.
+
+The paper's studies are grids of *independent* Melissa runs driven by a
+Snakemake workflow (Appendix B.2) — embarrassingly parallel work.  This module
+is the in-Python equivalent of that workflow engine:
+
+* :class:`RunSpec` — one run of a study as a picklable value object: a name,
+  the serialized base configuration (``OnlineTrainingConfig.to_dict()``) and a
+  flat override dict.  Workers rebuild the real configuration with
+  :meth:`RunSpec.build_config`, so specs can cross process boundaries.
+* :class:`StudyInputCache` — per-process cache of the expensive study inputs
+  (solver factorisation, fixed Halton validation set), keyed by scenario so
+  multi-workload studies still share them within one worker.
+* :class:`SerialExecutor` / :class:`MultiprocessExecutor` — the two
+  :class:`Executor` backends.  The serial backend keeps the full
+  :class:`~repro.api.session.OnlineTrainingResult` (model included)
+  in-process; the multiprocess backend ships only the picklable
+  :class:`~repro.workflow.results.RunResult` back from the workers.
+* :class:`JsonlCheckpoint` — an append-only JSONL record of completed runs,
+  written as results finish (in completion order) and read back by
+  ``StudyRunner.run_all(..., resume=...)`` to skip completed runs after a
+  crash or interruption.
+
+Runs are deterministic functions of their configuration (every RNG stream is
+seeded from ``config.seed``), so the two backends produce bit-identical
+metrics and series for the same specs — except for the wall-clock
+:data:`TIMING_METRICS`, which are excluded from any equality contract.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.api.config import OnlineTrainingConfig
+from repro.api.session import OnlineTrainingResult
+from repro.breed.samplers import BreedConfig
+from repro.melissa.run import run_online_training
+from repro.solvers.base import Solver
+from repro.surrogate.validation import ValidationSet, build_validation_set
+from repro.utils.logging import get_logger
+from repro.utils.timer import Timer
+from repro.workflow.results import RunResult
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "JsonlCheckpoint",
+    "MultiprocessExecutor",
+    "RunSpec",
+    "SerialExecutor",
+    "StudyInputCache",
+    "TIMING_METRICS",
+    "apply_overrides",
+    "config_digest",
+    "execute_spec",
+    "get_executor",
+]
+
+_LOGGER = get_logger("workflow")
+
+#: metric keys measuring wall-clock time — the only RunResult content that is
+#: *not* bit-identical across executor backends / repeat runs
+TIMING_METRICS = frozenset({"elapsed_seconds", "steering_seconds"})
+
+#: configuration keys that live on the nested BreedConfig rather than the run
+#: config (derived from the dataclass so newly added fields stay overridable)
+_BREED_KEYS = frozenset(BreedConfig.__dataclass_fields__)
+
+
+def apply_overrides(base: OnlineTrainingConfig, overrides: Dict[str, Any]) -> OnlineTrainingConfig:
+    """Build a run configuration from a base config plus a flat override dict.
+
+    Keys matching Breed hyper-parameters (any field of :class:`BreedConfig`,
+    e.g. ``sigma``, ``period``, ``window``, ``r_start``) are applied to the
+    nested breed configuration; keys starting with ``_`` are study metadata
+    and are ignored; everything else must be a field of
+    :class:`~repro.api.config.OnlineTrainingConfig` (including ``workload``).
+    """
+    run_kwargs: Dict[str, Any] = {}
+    breed_kwargs: Dict[str, Any] = {}
+    for key, value in overrides.items():
+        if key.startswith("_"):
+            continue
+        if key in _BREED_KEYS:
+            breed_kwargs[key] = value
+        else:
+            if key not in OnlineTrainingConfig.__dataclass_fields__:
+                raise KeyError(f"unknown configuration key {key!r}")
+            run_kwargs[key] = value
+    breed = base.breed
+    if breed_kwargs:
+        # dataclasses.replace keeps every non-overridden field — including
+        # ones added to BreedConfig after this function was written.
+        breed = replace(breed, **breed_kwargs)
+    return replace(base, breed=breed, **run_kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Run specification
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One run of a study, in a form that can cross process boundaries.
+
+    ``config`` is the serialized *base* configuration of the study
+    (:meth:`OnlineTrainingConfig.to_dict` output); ``overrides`` is the flat
+    per-run override dict understood by :func:`apply_overrides`.  Keeping the
+    two separate (instead of serializing the merged configuration) preserves
+    the study metadata keys (``_factor``/``_value``/``_name``) that result
+    tables group by.
+    """
+
+    name: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    def build_config(self) -> OnlineTrainingConfig:
+        """Rebuild the effective run configuration (base ∘ overrides)."""
+        return apply_overrides(OnlineTrainingConfig.from_dict(self.config), self.overrides)
+
+
+def config_digest(config: OnlineTrainingConfig) -> str:
+    """Short stable fingerprint of an effective run configuration.
+
+    Stamped onto each :class:`RunResult` so checkpoint/resume can detect that
+    a record was produced by a different configuration — run names omit the
+    base config entirely, and the override dict only covers the varied keys.
+    """
+    import hashlib
+
+    payload = json.dumps(config.to_dict(), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Shared-input cache
+# ---------------------------------------------------------------------------
+
+
+class StudyInputCache:
+    """Per-process cache of a study's expensive inputs.
+
+    Solvers (the implicit schemes pre-factorise their linear system) and the
+    fixed Halton validation set are deterministic functions of the scenario
+    — workload key and options, grid geometry, parameter bounds, validation
+    budget — so they are shared across every run of that scenario.  Each
+    worker process owns one instance; the serial backend shares one with the
+    :class:`~repro.workflow.study.StudyRunner` driving it.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Any, Tuple[Solver, Optional[ValidationSet]]] = {}
+
+    @staticmethod
+    def key(config: OnlineTrainingConfig) -> Any:
+        # repr-ed options keep the key hashable for arbitrary JSON-style
+        # values (lists, nested dicts).
+        return (
+            config.workload,
+            repr(sorted(config.workload_options.items())),
+            config.heat,
+            config.bounds,
+            config.n_validation_trajectories,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def inputs(self, config: OnlineTrainingConfig) -> Tuple[Solver, Optional[ValidationSet]]:
+        """Solver and validation set for ``config``, built once per scenario."""
+        key = self.key(config)
+        if key not in self._entries:
+            workload = config.build_workload()
+            solver = workload.build_solver()
+            validation: Optional[ValidationSet] = None
+            if config.n_validation_trajectories > 0:
+                validation = build_validation_set(
+                    solver=solver,
+                    bounds=workload.bounds,
+                    scalers=workload.build_scalers(),
+                    n_trajectories=config.n_validation_trajectories,
+                )
+            self._entries[key] = (solver, validation)
+        return self._entries[key]
+
+
+def execute_spec(
+    spec: RunSpec, cache: Optional[StudyInputCache] = None
+) -> Tuple[RunResult, OnlineTrainingResult]:
+    """Execute one run spec and package its :class:`RunResult` record.
+
+    This is the single run-execution path of the engine: the serial backend
+    calls it in-process, the multiprocess backend calls it inside each worker
+    (through :func:`_execute_spec_in_worker`).
+    """
+    config = spec.build_config()
+    solver, validation = (cache if cache is not None else StudyInputCache()).inputs(config)
+    timer = Timer(name=spec.name)
+    with timer.span():
+        result = run_online_training(config, solver=solver, validation_set=validation)
+    record = RunResult(
+        name=spec.name,
+        config=dict(spec.overrides),
+        metrics={
+            "final_train_loss": result.final_train_loss,
+            "final_validation_loss": result.final_validation_loss,
+            "overfit_gap": result.overfit_gap,
+            "iterations": float(result.history.train_iterations[-1]) if result.history.train_iterations else 0.0,
+            "steering_events": float(len(result.steering_records)),
+            "parameter_overwrites": float(result.launcher_summary.get("overwrites", 0)),
+            "uniform_fraction": result.uniform_fraction(),
+            "steering_seconds": result.steering_seconds,
+            "elapsed_seconds": timer.total,
+        },
+        series={
+            "train_iterations": [float(i) for i in result.history.train_iterations],
+            "train_losses": list(result.history.train_losses),
+            "validation_iterations": [float(i) for i in result.history.validation_iterations],
+            "validation_losses": list(result.history.validation_losses),
+        },
+        workload=config.workload,
+        seed=config.seed,
+        digest=config_digest(config),
+    )
+    return record, result
+
+
+# ---------------------------------------------------------------------------
+# Executor backends
+# ---------------------------------------------------------------------------
+
+#: callback invoked as each run finishes: ``(spec_index, record)``.
+#: Called in *completion* order, which for the process backend need not be
+#: spec order.
+OnRecord = Callable[[int, RunResult], None]
+
+
+class Executor(Protocol):
+    """Study-execution backend: run every spec, return records in spec order."""
+
+    def execute(
+        self, specs: Sequence[RunSpec], on_record: Optional[OnRecord] = None
+    ) -> List[RunResult]:
+        """Run ``specs`` and return their records, re-ordered to spec order."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialExecutor:
+    """In-process backend: one run after another, full results retained.
+
+    ``full_results`` maps run name → :class:`OnlineTrainingResult` for every
+    spec executed by this instance — experiments that need the trained model
+    or the executed parameter vectors (fig4, fig6, overhead) read it after
+    the study completes.  Nothing needs to be picklable on this path.
+    """
+
+    def __init__(self, cache: Optional[StudyInputCache] = None, keep_full_results: bool = True) -> None:
+        self.cache = cache if cache is not None else StudyInputCache()
+        self.keep_full_results = keep_full_results
+        self.full_results: Dict[str, OnlineTrainingResult] = {}
+
+    def execute(
+        self, specs: Sequence[RunSpec], on_record: Optional[OnRecord] = None
+    ) -> List[RunResult]:
+        records: List[RunResult] = []
+        for index, spec in enumerate(specs):
+            record, full = execute_spec(spec, self.cache)
+            if self.keep_full_results:
+                self.full_results[spec.name] = full
+            if on_record is not None:
+                on_record(index, record)
+            records.append(record)
+        return records
+
+
+# Worker-process state: one StudyInputCache per worker, living for the
+# lifetime of the pool so solver factorisations and validation sets are
+# shared across every run the worker executes (not re-done per run).
+_WORKER_CACHE: Optional[StudyInputCache] = None
+
+
+def _execute_spec_in_worker(spec: RunSpec) -> RunResult:
+    """Process-pool entry point: run one spec against the worker-local cache."""
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = StudyInputCache()
+    record, _ = execute_spec(spec, _WORKER_CACHE)
+    return record
+
+
+class MultiprocessExecutor:
+    """``concurrent.futures.ProcessPoolExecutor``-backed parallel backend.
+
+    Each worker rebuilds configurations from the picklable :class:`RunSpec`
+    and keeps a worker-local :class:`StudyInputCache`; only the
+    :class:`RunResult` record crosses back (the trained model stays in the
+    worker).  Records are handed to ``on_record`` in completion order — the
+    checkpoint stream — and returned re-ordered to spec order, so study
+    results are deterministic regardless of scheduling.
+
+    Workers resolve registry keys against a freshly imported ``repro``:
+    workloads/samplers registered at runtime (``@register_workload`` in a
+    script) are only visible to them under the ``fork`` start method.
+    Under ``spawn``/``forkserver`` — macOS, Windows, and Linux from
+    Python 3.14 where ``forkserver`` becomes the default — custom
+    registrations must live in an importable module, or use the serial
+    backend.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = max_workers
+
+    def execute(
+        self, specs: Sequence[RunSpec], on_record: Optional[OnRecord] = None
+    ) -> List[RunResult]:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        if not specs:
+            return []
+        records: List[Optional[RunResult]] = [None] * len(specs)
+        max_workers = self.max_workers
+        if max_workers is not None:
+            max_workers = max(1, min(max_workers, len(specs)))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_execute_spec_in_worker, spec): index
+                for index, spec in enumerate(specs)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                record = future.result()
+                records[index] = record
+                if on_record is not None:
+                    on_record(index, record)
+        return [record for record in records if record is not None]
+
+
+#: registry of executor-backend names accepted by StudyRunner / the CLI
+BACKENDS = ("serial", "process")
+
+
+def get_executor(
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    cache: Optional[StudyInputCache] = None,
+) -> Executor:
+    """Construct the executor backend named ``backend``."""
+    if backend == "serial":
+        return SerialExecutor(cache=cache)
+    if backend == "process":
+        return MultiprocessExecutor(max_workers=max_workers)
+    raise ValueError(f"unknown executor backend {backend!r}; options: {BACKENDS}")
+
+
+# ---------------------------------------------------------------------------
+# JSONL checkpointing
+# ---------------------------------------------------------------------------
+
+
+class JsonlCheckpoint:
+    """Append-only JSONL record of completed runs.
+
+    One line per completed :class:`RunResult`, written (and flushed) as each
+    run finishes so a killed study loses at most the in-flight runs.  Loading
+    tolerates a truncated final line — the tail a crash mid-write leaves
+    behind — and keeps the *last* record per name, so re-running a study into
+    the same file is harmless.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> Dict[str, RunResult]:
+        """Completed runs keyed by name (empty when the file is absent)."""
+        completed: Dict[str, RunResult] = {}
+        if not self.path.exists():
+            return completed
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                _LOGGER.warning("skipping truncated checkpoint line in %s", self.path)
+                continue
+            record = RunResult.from_dict(payload)
+            completed[record.name] = record
+        return completed
+
+    def append(self, record: RunResult) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as stream:
+            stream.write(json.dumps(record.to_dict()) + "\n")
+            stream.flush()

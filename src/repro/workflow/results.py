@@ -32,18 +32,42 @@ def _to_jsonable(value: Any) -> Any:
 
 @dataclass
 class RunResult:
-    """Outcome of one study configuration."""
+    """Outcome of one study configuration.
+
+    ``workload`` and ``seed`` record the effective scenario and RNG seed of
+    the run (after overrides), so multi-workload study JSON stays
+    self-describing after a :meth:`StudyResults.to_json` round-trip even when
+    the override dict never mentioned them.
+    """
 
     name: str
     config: Dict[str, Any]
     metrics: Dict[str, float]
     series: Dict[str, List[float]] = field(default_factory=dict)
+    workload: str = "heat2d"
+    seed: int = 0
+    #: fingerprint of the effective run configuration (checkpoint validation)
+    digest: str = ""
 
     def metric(self, key: str, default: float = float("nan")) -> float:
         return float(self.metrics.get(key, default))
 
     def to_dict(self) -> Dict[str, Any]:
         return _to_jsonable(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a record from :meth:`to_dict` output (old payloads lack
+        ``workload``/``seed`` and take the defaults)."""
+        return cls(
+            name=data["name"],
+            config=dict(data.get("config", {})),
+            metrics=dict(data.get("metrics", {})),
+            series={k: list(v) for k, v in data.get("series", {}).items()},
+            workload=data.get("workload", "heat2d"),
+            seed=int(data.get("seed", 0)),
+            digest=data.get("digest", ""),
+        )
 
 
 @dataclass
@@ -105,12 +129,5 @@ class StudyResults:
         payload = json.loads(Path(path).read_text())
         results = cls(study=payload["study"])
         for run in payload["runs"]:
-            results.add(
-                RunResult(
-                    name=run["name"],
-                    config=run["config"],
-                    metrics=run["metrics"],
-                    series={k: list(v) for k, v in run.get("series", {}).items()},
-                )
-            )
+            results.add(RunResult.from_dict(run))
         return results

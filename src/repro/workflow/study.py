@@ -3,74 +3,74 @@
 This is the in-Python substitute for the paper's Snakemake workflow
 ("the workflow creates configuration files for Melissa runs across [the]
 chosen grid", Appendix B.2).  Solvers and validation sets are shared across
-all runs of a study — as they are in the paper, where the validation set is
+all runs of a scenario — as they are in the paper, where the validation set is
 fixed — which also avoids re-factorising the implicit solver per run.
+
+Execution is delegated to a pluggable :mod:`repro.workflow.executor` backend:
+``backend="serial"`` runs in-process (and retains the full
+:class:`~repro.api.session.OnlineTrainingResult` per run), while
+``backend="process"`` fans the runs out over a worker pool, streaming
+picklable :class:`~repro.workflow.results.RunResult` records back.  Either
+way ``run_all`` can checkpoint completed runs to a JSONL file as they finish
+and, given ``resume=``, skip the runs a previous (interrupted) invocation
+already completed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
 
+from repro.api.session import OnlineTrainingResult
 from repro.api.workloads import Workload
-from repro.breed.samplers import BreedConfig
-from repro.melissa.run import OnlineTrainingConfig, OnlineTrainingResult, run_online_training
+from repro.melissa.run import OnlineTrainingConfig
 from repro.solvers.base import Solver
-from repro.surrogate.validation import ValidationSet, build_validation_set
+from repro.surrogate.validation import ValidationSet
 from repro.utils.logging import get_logger
-from repro.utils.timer import Timer
+from repro.workflow.executor import (
+    JsonlCheckpoint,
+    RunSpec,
+    SerialExecutor,
+    StudyInputCache,
+    apply_overrides,
+    config_digest,
+    execute_spec,
+    get_executor,
+)
 from repro.workflow.results import RunResult, StudyResults
 
 __all__ = ["StudyRunner", "apply_overrides"]
 
 _LOGGER = get_logger("workflow")
 
-#: configuration keys that live on the nested BreedConfig rather than the run
-#: config (derived from the dataclass so newly added fields stay overridable)
-_BREED_KEYS = frozenset(BreedConfig.__dataclass_fields__)
-
-
-def apply_overrides(base: OnlineTrainingConfig, overrides: Dict[str, Any]) -> OnlineTrainingConfig:
-    """Build a run configuration from a base config plus a flat override dict.
-
-    Keys matching Breed hyper-parameters (any field of :class:`BreedConfig`,
-    e.g. ``sigma``, ``period``, ``window``, ``r_start``) are applied to the
-    nested breed configuration; keys starting with ``_`` are study metadata
-    and are ignored; everything else must be a field of
-    :class:`~repro.api.config.OnlineTrainingConfig` (including ``workload``).
-    """
-    run_kwargs: Dict[str, Any] = {}
-    breed_kwargs: Dict[str, Any] = {}
-    for key, value in overrides.items():
-        if key.startswith("_"):
-            continue
-        if key in _BREED_KEYS:
-            breed_kwargs[key] = value
-        else:
-            if key not in OnlineTrainingConfig.__dataclass_fields__:
-                raise KeyError(f"unknown configuration key {key!r}")
-            run_kwargs[key] = value
-    breed = base.breed
-    if breed_kwargs:
-        # dataclasses.replace keeps every non-overridden field — including
-        # ones added to BreedConfig after this function was written.
-        breed = replace(breed, **breed_kwargs)
-    return replace(base, breed=breed, **run_kwargs)
-
 
 @dataclass
 class StudyRunner:
-    """Execute a set of run configurations derived from one base configuration."""
+    """Execute a set of run configurations derived from one base configuration.
+
+    ``backend`` selects the executor (``"serial"`` or ``"process"``);
+    ``max_workers`` bounds the worker pool of the process backend.  After a
+    serial ``run_all``/``run_one``, :attr:`full_results` maps run name →
+    :class:`OnlineTrainingResult` for experiments that need the trained model
+    or parameter vectors; the process backend leaves it empty (only the
+    picklable records cross back from the workers).
+    """
 
     base_config: OnlineTrainingConfig
     study_name: str = "study"
+    #: executor backend: any name in :data:`repro.workflow.executor.BACKENDS`
+    backend: str = "serial"
+    #: worker-pool size for the ``"process"`` backend (None → CPU count)
+    max_workers: Optional[int] = None
     #: optional callback invoked after each run, e.g. for progress reporting
     on_result: Optional[Callable[[RunResult], None]] = None
+    #: full per-run results of the last serial execution, keyed by run name
+    full_results: Dict[str, OnlineTrainingResult] = field(default_factory=dict, repr=False)
+    #: per-scenario cache of (solver, validation set) shared by serial runs
+    _cache: StudyInputCache = field(default_factory=StudyInputCache, repr=False)
     _workload: Optional[Workload] = field(default=None, repr=False)
-    _solver: Optional[Solver] = field(default=None, repr=False)
-    _validation: Optional[ValidationSet] = field(default=None, repr=False)
-    #: per-override-workload cache: key → (solver, validation set)
-    _override_inputs: Dict[Any, tuple] = field(default_factory=dict, repr=False)
 
     # -------------------------------------------------------------- sharing
     def shared_workload(self) -> Workload:
@@ -79,105 +79,21 @@ class StudyRunner:
         return self._workload
 
     def shared_solver(self) -> Solver:
-        if self._solver is None:
-            self._solver = self.shared_workload().build_solver()
-        return self._solver
+        return self._cache.inputs(self.base_config)[0]
 
     def shared_validation_set(self) -> Optional[ValidationSet]:
-        if self.base_config.n_validation_trajectories <= 0:
-            return None
-        if self._validation is None:
-            workload = self.shared_workload()
-            self._validation = build_validation_set(
-                solver=self.shared_solver(),
-                bounds=workload.bounds,
-                scalers=workload.build_scalers(),
-                n_trajectories=self.base_config.n_validation_trajectories,
-            )
-        return self._validation
+        return self._cache.inputs(self.base_config)[1]
 
-    def _matches_shared_workload(self, config: OnlineTrainingConfig) -> bool:
-        """Whether the shared solver/validation set apply to ``config``.
+    # -------------------------------------------------------------- specs
+    def run_names(self, configurations: List[Dict[str, Any]], name_key: Optional[str] = None) -> List[str]:
+        """Derive the (unique) run name of every configuration.
 
-        Overrides that change the workload (or its geometry) must not inherit
-        the base scenario's solver — a heat2d solver cannot execute heat1d
-        parameter vectors.
+        Duplicate names are suffixed with the configuration index — the
+        checkpoint/resume machinery keys completed runs by name, so silent
+        collisions would drop runs on resume.
         """
-        base = self.base_config
-        return (
-            config.workload == base.workload
-            and config.workload_options == base.workload_options
-            and config.heat == base.heat
-            and config.bounds == base.bounds
-        )
-
-    # -------------------------------------------------------------- running
-    def run_one(self, name: str, overrides: Dict[str, Any]) -> tuple[RunResult, OnlineTrainingResult]:
-        """Run a single configuration and convert it into a :class:`RunResult`."""
-        config = apply_overrides(self.base_config, overrides)
-        if self._matches_shared_workload(config):
-            solver = self.shared_solver()
-            validation = self.shared_validation_set()
-        else:
-            # Cache per distinct scenario so multi-workload studies still
-            # share the expensive solver factorisation and validation set.
-            # repr-ed options keep the key hashable for arbitrary
-            # JSON-style values (lists, nested dicts).
-            key = (
-                config.workload,
-                repr(sorted(config.workload_options.items())),
-                config.heat,
-                config.bounds,
-                config.n_validation_trajectories,
-            )
-            if key not in self._override_inputs:
-                workload = config.build_workload()
-                solver = workload.build_solver()
-                validation = None
-                if config.n_validation_trajectories > 0:
-                    validation = build_validation_set(
-                        solver=solver,
-                        bounds=workload.bounds,
-                        scalers=workload.build_scalers(),
-                        n_trajectories=config.n_validation_trajectories,
-                    )
-                self._override_inputs[key] = (solver, validation)
-            solver, validation = self._override_inputs[key]
-        timer = Timer(name=name)
-        with timer.span():
-            result = run_online_training(
-                config,
-                solver=solver,
-                validation_set=validation,
-            )
-        record = RunResult(
-            name=name,
-            config=dict(overrides),
-            metrics={
-                "final_train_loss": result.final_train_loss,
-                "final_validation_loss": result.final_validation_loss,
-                "overfit_gap": result.overfit_gap,
-                "iterations": float(result.history.train_iterations[-1]) if result.history.train_iterations else 0.0,
-                "steering_events": float(len(result.steering_records)),
-                "parameter_overwrites": float(result.launcher_summary.get("overwrites", 0)),
-                "uniform_fraction": result.uniform_fraction(),
-                "steering_seconds": result.steering_seconds,
-                "elapsed_seconds": timer.total,
-            },
-            series={
-                "train_iterations": [float(i) for i in result.history.train_iterations],
-                "train_losses": list(result.history.train_losses),
-                "validation_iterations": [float(i) for i in result.history.validation_iterations],
-                "validation_losses": list(result.history.validation_losses),
-            },
-        )
-        if self.on_result is not None:
-            self.on_result(record)
-        return record, result
-
-    def run_all(self, configurations: List[Dict[str, Any]], name_key: Optional[str] = None) -> StudyResults:
-        """Run every configuration of a study and collect the results."""
-        results = StudyResults(study=self.study_name)
+        names: List[str] = []
+        seen: set = set()
         for index, overrides in enumerate(configurations):
             if name_key is not None and name_key in overrides:
                 name = f"{self.study_name}:{overrides[name_key]}"
@@ -185,7 +101,145 @@ class StudyRunner:
                 name = f"{self.study_name}:{overrides['_factor']}={overrides['_value']}"
             else:
                 name = f"{self.study_name}:{index}"
-            _LOGGER.info("running %s (%d/%d)", name, index + 1, len(configurations))
-            record, _ = self.run_one(name, overrides)
-            results.add(record)
+            if name in seen:
+                deduped = f"{name}#{index}"
+                _LOGGER.warning("duplicate run name %r; renaming to %r", name, deduped)
+                name = deduped
+            seen.add(name)
+            names.append(name)
+        return names
+
+    def build_specs(
+        self, configurations: List[Dict[str, Any]], name_key: Optional[str] = None
+    ) -> List[RunSpec]:
+        """Expand configurations into named, picklable :class:`RunSpec`\\ s."""
+        base = self.base_config.to_dict()
+        return [
+            RunSpec(name=name, config=base, overrides=dict(overrides))
+            for name, overrides in zip(self.run_names(configurations, name_key), configurations)
+        ]
+
+    @staticmethod
+    def _record_matches_spec(record: RunResult, spec: RunSpec) -> bool:
+        """Whether a checkpointed record still describes ``spec``'s run.
+
+        Resume keys on run names, but names omit the configuration — a record
+        from a previous invocation with a different seed, scale, base config,
+        or override set must be re-executed, not silently relabeled as the
+        current study's result.  The effective-config fingerprint stamped on
+        each record covers all of that; records from older checkpoints that
+        predate the fingerprint fall back to the seed/workload/override
+        comparison (overrides through a JSON round-trip, since the
+        checkpointed copy already went through one).
+        """
+        config = spec.build_config()
+        if record.digest:
+            return record.digest == config_digest(config)
+        if record.seed != config.seed or record.workload != config.workload:
+            return False
+        canonical = lambda d: json.dumps(d, sort_keys=True, default=str)  # noqa: E731
+        return canonical(record.config) == canonical(spec.overrides)
+
+    # -------------------------------------------------------------- running
+    def run_one(self, name: str, overrides: Dict[str, Any]) -> tuple[RunResult, OnlineTrainingResult]:
+        """Run a single configuration in-process and return its records."""
+        spec = RunSpec(name=name, config=self.base_config.to_dict(), overrides=dict(overrides))
+        record, result = execute_spec(spec, self._cache)
+        self.full_results[name] = result
+        if self.on_result is not None:
+            self.on_result(record)
+        return record, result
+
+    def run_all(
+        self,
+        configurations: List[Dict[str, Any]],
+        name_key: Optional[str] = None,
+        checkpoint: Optional[Union[str, Path]] = None,
+        resume: Optional[Union[str, Path]] = None,
+    ) -> StudyResults:
+        """Run every configuration of a study and collect the results.
+
+        Parameters
+        ----------
+        configurations:
+            Flat override dicts (see :func:`apply_overrides`), one per run.
+        name_key:
+            Optional override key whose value names the run.
+        checkpoint:
+            Optional JSONL path; each completed run is appended (and flushed)
+            as it finishes, in completion order.
+        resume:
+            Optional JSONL path of a previous invocation; runs whose names
+            appear there *and* still match the current configuration
+            (seed, workload, overrides) are not re-executed — their
+            checkpointed records are spliced into the results.  When
+            ``checkpoint`` is omitted, new completions are appended to the
+            ``resume`` file, so the natural crash-recovery call is
+            ``run_all(cfgs, resume=path)`` with the same ``path`` every
+            time; when both are given and differ, the spliced records are
+            copied into ``checkpoint`` so it stands alone.
+
+        Results are ordered by configuration index regardless of the order
+        runs complete in.
+        """
+        specs = self.build_specs(configurations, name_key)
+        completed: Dict[str, RunResult] = {}
+        if resume is not None:
+            completed = JsonlCheckpoint(resume).load()
+        sink = JsonlCheckpoint(checkpoint if checkpoint is not None else resume) if (
+            checkpoint is not None or resume is not None
+        ) else None
+
+        pending: List[RunSpec] = []
+        resumed: List[RunResult] = []
+        for spec in specs:
+            record = completed.get(spec.name)
+            if record is not None and self._record_matches_spec(record, spec):
+                resumed.append(record)
+            else:
+                if record is not None:
+                    _LOGGER.warning(
+                        "checkpointed run %s does not match the current configuration "
+                        "(seed/workload/overrides changed); re-executing",
+                        spec.name,
+                    )
+                    completed.pop(spec.name)
+                pending.append(spec)
+        if resumed:
+            _LOGGER.info(
+                "%s: resuming — %d/%d runs already checkpointed",
+                self.study_name,
+                len(resumed),
+                len(specs),
+            )
+        # A fresh checkpoint file must stand alone for future resumes: seed it
+        # with the records spliced in from a *different* resume file.
+        if sink is not None and resume is not None and sink.path.resolve() != Path(resume).resolve():
+            for record in resumed:
+                sink.append(record)
+
+        executor = get_executor(self.backend, max_workers=self.max_workers, cache=self._cache)
+        self.full_results = {}
+        n_finished = 0
+
+        def on_record(index: int, record: RunResult) -> None:
+            nonlocal n_finished
+            n_finished += 1
+            _LOGGER.info(
+                "finished %s (%d/%d, backend=%s)", record.name, n_finished, len(pending), self.backend
+            )
+            if sink is not None:
+                sink.append(record)
+            if self.on_result is not None:
+                self.on_result(record)
+
+        records = executor.execute(pending, on_record)
+        if isinstance(executor, SerialExecutor):
+            self.full_results = executor.full_results
+
+        by_name = dict(completed)
+        by_name.update({record.name: record for record in records})
+        results = StudyResults(study=self.study_name)
+        for spec in specs:
+            results.add(by_name[spec.name])
         return results

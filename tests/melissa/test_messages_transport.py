@@ -67,6 +67,24 @@ class TestChannel:
         assert len(channel) == 2
         assert len(channel.drain()) == 2
 
+    def test_rejected_put_counts_as_dropped(self):
+        channel = Channel("bounded", maxsize=1)
+        assert channel.put(TimeStepMessage(simulation_id=0))
+        assert not channel.put(TimeStepMessage(simulation_id=1))
+        assert not channel.put(TimeStepMessage(simulation_id=2))
+        assert channel.stats.n_dropped == 2
+        # Accepted messages are not counted as drops.
+        assert channel.stats.n_messages == 1
+        channel.get()
+        assert channel.put(TimeStepMessage(simulation_id=1))
+        assert channel.stats.n_dropped == 2
+
+    def test_unbounded_channel_never_drops(self):
+        channel = Channel("unbounded")
+        for i in range(10):
+            assert channel.put(TimeStepMessage(simulation_id=i))
+        assert channel.stats.n_dropped == 0
+
     def test_stats_accumulate_bytes(self):
         channel = Channel("stats")
         channel.put(TimeStepMessage(simulation_id=0, payload=np.zeros(100)))
@@ -99,3 +117,4 @@ class TestInProcessTransport:
         transport = InProcessTransport(data_channel_maxsize=1)
         assert transport.data.put(TimeStepMessage(simulation_id=0))
         assert not transport.data.put(TimeStepMessage(simulation_id=1))
+        assert transport.total_dropped() == 1

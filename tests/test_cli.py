@@ -1,0 +1,83 @@
+"""Tests for the ``repro`` command-line launcher."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.workflow.results import StudyResults
+
+
+class TestParser:
+    def test_registry_covers_all_experiments(self):
+        assert set(EXPERIMENTS) == {"fig3a", "fig3b", "fig4", "fig6", "overhead", "table1"}
+
+    def test_backend_resolution(self):
+        from repro.cli import _resolve_backend
+
+        parser = build_parser()
+        assert _resolve_backend(parser.parse_args(["fig3b"])) == ("serial", None)
+        assert _resolve_backend(parser.parse_args(["fig3b", "--jobs", "4"])) == ("process", 4)
+        assert _resolve_backend(parser.parse_args(["fig3b", "--jobs", "1"])) == ("serial", 1)
+        assert _resolve_backend(
+            parser.parse_args(["fig3b", "--backend", "serial", "--jobs", "4"])
+        ) == ("serial", 4)
+
+    def test_list_exits_zero(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_experiment_is_an_error(self):
+        assert main([]) == 2
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestCliRuns:
+    def test_table1(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Study (1)" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_fig3b_single_factor_writes_results_and_checkpoint(self, tmp_path, capsys):
+        assert main([
+            "fig3b", "--scale", "smoke", "--factor", "sigma",
+            "--seed", "1", "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sigma" in out
+        study = StudyResults.load_json(tmp_path / "fig3b_smoke.json")
+        assert len(study) == 2  # SMOKE_FACTORS["sigma"] has two values
+        checkpoint = tmp_path / "fig3b_smoke.runs.jsonl"
+        assert len(checkpoint.read_text().splitlines()) == 2
+        # The trailing status line is machine-readable.
+        status = json.loads(out.strip().splitlines()[-1])
+        assert status["experiment"] == "fig3b"
+        assert status["runs"] == 2
+
+    def test_fig3b_resume_from_checkpoint(self, tmp_path, capsys):
+        args = ["fig3b", "--scale", "smoke", "--factor", "sigma", "--out", str(tmp_path)]
+        assert main(args) == 0
+        checkpoint = tmp_path / "fig3b_smoke.runs.jsonl"
+        first = checkpoint.read_text()
+        # Re-invoke with --resume: nothing new is executed or appended.
+        assert main(args + ["--resume", str(checkpoint)]) == 0
+        assert checkpoint.read_text() == first
+
+    def test_fig3b_unknown_factor_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig3b", "--factor", "nope", "--out", str(tmp_path)])
+
+    def test_checkpoint_does_not_accumulate_across_invocations(self, tmp_path, capsys):
+        args = ["fig3b", "--scale", "smoke", "--factor", "r_end", "--out", str(tmp_path)]
+        assert main(args) == 0
+        assert main(args) == 0  # no --resume: fresh invocation, fresh checkpoint
+        checkpoint = tmp_path / "fig3b_smoke.runs.jsonl"
+        assert len(checkpoint.read_text().splitlines()) == 2  # not 4

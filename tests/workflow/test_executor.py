@@ -1,0 +1,291 @@
+"""Tests for the study-execution engine: specs, backends, checkpoint/resume."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.workflow.executor import (
+    JsonlCheckpoint,
+    MultiprocessExecutor,
+    RunSpec,
+    SerialExecutor,
+    StudyInputCache,
+    TIMING_METRICS,
+    execute_spec,
+    get_executor,
+)
+from repro.workflow.results import RunResult, StudyResults
+from repro.workflow.study import StudyRunner
+
+#: a tiny one-factor-at-a-time grid (the fig3b shape) for backend comparisons
+GRID = [
+    {"_factor": "sigma", "_value": 1.0, "sigma": 1.0},
+    {"_factor": "sigma", "_value": 25.0, "sigma": 25.0},
+    {"_factor": "period", "_value": 5, "period": 5},
+    {"_factor": "period", "_value": 20, "period": 20},
+]
+
+
+def _comparable_metrics(run: RunResult) -> dict:
+    return {k: v for k, v in run.metrics.items() if k not in TIMING_METRICS}
+
+
+class TestRunSpec:
+    def test_build_config_applies_overrides(self, tiny_run_config):
+        spec = RunSpec(
+            name="s", config=tiny_run_config.to_dict(), overrides={"sigma": 3.0, "hidden_size": 4}
+        )
+        config = spec.build_config()
+        assert config.breed.sigma == 3.0
+        assert config.hidden_size == 4
+        assert config.n_simulations == tiny_run_config.n_simulations
+
+    def test_spec_is_picklable(self, tiny_run_config):
+        spec = RunSpec(name="s", config=tiny_run_config.to_dict(), overrides={"_factor": "sigma"})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.build_config() == spec.build_config()
+
+
+class TestStudyInputCache:
+    def test_same_scenario_shares_inputs(self, tiny_run_config):
+        cache = StudyInputCache()
+        solver_a, validation_a = cache.inputs(tiny_run_config)
+        solver_b, validation_b = cache.inputs(tiny_run_config)
+        assert solver_a is solver_b
+        assert validation_a is validation_b
+        assert len(cache) == 1
+
+    def test_different_validation_budget_is_a_different_entry(self, tiny_run_config):
+        from dataclasses import replace
+
+        cache = StudyInputCache()
+        cache.inputs(tiny_run_config)
+        cache.inputs(replace(tiny_run_config, n_validation_trajectories=5))
+        assert len(cache) == 2
+
+    def test_workload_change_is_a_different_entry(self, tiny_run_config):
+        from dataclasses import replace
+
+        from repro.sampling.bounds import HEAT1D_BOUNDS
+
+        cache = StudyInputCache()
+        cache.inputs(tiny_run_config)
+        cache.inputs(replace(tiny_run_config, workload="heat1d", bounds=HEAT1D_BOUNDS))
+        assert len(cache) == 2
+
+    def test_validation_disabled(self, tiny_run_config):
+        from dataclasses import replace
+
+        cache = StudyInputCache()
+        _, validation = cache.inputs(replace(tiny_run_config, n_validation_trajectories=0))
+        assert validation is None
+
+
+class TestExecutorBackends:
+    def test_get_executor_names(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("process", max_workers=2), MultiprocessExecutor)
+        with pytest.raises(ValueError):
+            get_executor("slurm")
+
+    def test_serial_retains_full_results(self, tiny_run_config):
+        executor = SerialExecutor()
+        specs = [RunSpec(name="r0", config=tiny_run_config.to_dict(), overrides={})]
+        records = executor.execute(specs)
+        assert len(records) == 1
+        assert set(executor.full_results) == {"r0"}
+        assert executor.full_results["r0"].method in ("Breed", "Random")
+
+    def test_process_backend_bit_identical_to_serial(self, tiny_run_config):
+        serial = StudyRunner(base_config=tiny_run_config, study_name="det").run_all(GRID)
+        process = StudyRunner(
+            base_config=tiny_run_config, study_name="det", backend="process", max_workers=2
+        ).run_all(GRID)
+        assert [r.name for r in serial] == [r.name for r in process]
+        for serial_run, process_run in zip(serial, process):
+            # Bit-identical series and metrics (timing metrics measure
+            # wall-clock and are the only permitted difference).
+            assert serial_run.series == process_run.series
+            assert _comparable_metrics(serial_run) == _comparable_metrics(process_run)
+            assert serial_run.workload == process_run.workload
+            assert serial_run.seed == process_run.seed
+
+    def test_completion_order_reordered_to_spec_order(self, tiny_run_config):
+        seen = []
+        executor = MultiprocessExecutor(max_workers=2)
+        specs = StudyRunner(base_config=tiny_run_config, study_name="ord").build_specs(GRID)
+        records = executor.execute(specs, on_record=lambda i, r: seen.append(r.name))
+        # Whatever order runs completed in, the returned list is spec order.
+        assert [r.name for r in records] == [s.name for s in specs]
+        assert sorted(seen) == sorted(s.name for s in specs)
+
+
+class TestRunNames:
+    def test_duplicate_names_suffixed_with_index(self, tiny_run_config):
+        runner = StudyRunner(base_config=tiny_run_config, study_name="dup")
+        names = runner.run_names(
+            [{"_name": "x"}, {"_name": "x"}, {"_name": "y"}], name_key="_name"
+        )
+        assert names == ["dup:x", "dup:x#1", "dup:y"]
+        assert len(set(names)) == 3
+
+    def test_factor_and_index_names(self, tiny_run_config):
+        runner = StudyRunner(base_config=tiny_run_config, study_name="s")
+        names = runner.run_names([{"_factor": "sigma", "_value": 1.0, "sigma": 1.0}, {}])
+        assert names == ["s:sigma=1.0", "s:1"]
+
+
+class TestCheckpointResume:
+    def test_checkpoint_streams_jsonl(self, tiny_run_config, tmp_path):
+        path = tmp_path / "study.jsonl"
+        runner = StudyRunner(base_config=tiny_run_config, study_name="ck")
+        results = runner.run_all(GRID[:2], checkpoint=path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["name"] for line in lines] == [r.name for r in results]
+        assert all("metrics" in line and "series" in line for line in lines)
+
+    def test_resume_skips_completed_runs(self, tiny_run_config, tmp_path):
+        path = tmp_path / "study.jsonl"
+        # A "killed" study: only the first two runs completed.
+        interrupted = StudyRunner(base_config=tiny_run_config, study_name="res")
+        interrupted.run_all(GRID[:2], checkpoint=path)
+
+        executed = []
+        resumed = StudyRunner(
+            base_config=tiny_run_config, study_name="res", on_result=lambda r: executed.append(r.name)
+        )
+        results = resumed.run_all(GRID, resume=path)
+
+        # Only the remaining configurations were executed...
+        full_names = resumed.run_names(GRID)
+        assert executed == full_names[2:]
+        # ...and the final results cover the whole study, in order, identical
+        # to an uninterrupted run.
+        reference = StudyRunner(base_config=tiny_run_config, study_name="res").run_all(GRID)
+        assert [r.name for r in results] == [r.name for r in reference] == full_names
+        for resumed_run, reference_run in zip(results, reference):
+            assert resumed_run.series == reference_run.series
+            assert _comparable_metrics(resumed_run) == _comparable_metrics(reference_run)
+        # The checkpoint file now holds every run (resume appends to it).
+        assert len(JsonlCheckpoint(path).load()) == len(GRID)
+
+    def test_resume_with_process_backend(self, tiny_run_config, tmp_path):
+        path = tmp_path / "study.jsonl"
+        StudyRunner(base_config=tiny_run_config, study_name="res").run_all(GRID[:3], checkpoint=path)
+        results = StudyRunner(
+            base_config=tiny_run_config, study_name="res", backend="process", max_workers=2
+        ).run_all(GRID, resume=path)
+        assert len(results) == len(GRID)
+
+    def test_truncated_checkpoint_line_tolerated(self, tiny_run_config, tmp_path):
+        path = tmp_path / "study.jsonl"
+        runner = StudyRunner(base_config=tiny_run_config, study_name="trunc")
+        runner.run_all(GRID[:2], checkpoint=path)
+        # Simulate a crash mid-write: chop the final line in half.
+        text = path.read_text()
+        path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        completed = JsonlCheckpoint(path).load()
+        assert len(completed) == 1  # the intact line survives
+
+    def test_missing_checkpoint_is_empty(self, tmp_path):
+        assert JsonlCheckpoint(tmp_path / "absent.jsonl").load() == {}
+
+    def test_resume_with_changed_base_config_reexecutes(self, tiny_run_config, tmp_path):
+        from dataclasses import replace
+
+        path = tmp_path / "study.jsonl"
+        StudyRunner(base_config=tiny_run_config, study_name="res").run_all(GRID[:1], checkpoint=path)
+        # Same names, seed, workload, and overrides — but a different base
+        # config (a key the overrides never mention). The fingerprint catches it.
+        executed = []
+        changed = StudyRunner(
+            base_config=replace(tiny_run_config, max_iterations=tiny_run_config.max_iterations * 2),
+            study_name="res",
+            on_result=lambda r: executed.append(r.name),
+        )
+        changed.run_all(GRID[:1], resume=path)
+        assert len(executed) == 1
+
+    def test_legacy_record_without_digest_matches_on_fallback(self, tiny_run_config, tmp_path):
+        path = tmp_path / "study.jsonl"
+        runner = StudyRunner(base_config=tiny_run_config, study_name="res")
+        runner.run_all(GRID[:1], checkpoint=path)
+        # Strip the digest, simulating a checkpoint written before it existed.
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        for line in lines:
+            line["digest"] = ""
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        executed = []
+        StudyRunner(
+            base_config=tiny_run_config, study_name="res", on_result=lambda r: executed.append(r.name)
+        ).run_all(GRID[:1], resume=path)
+        assert executed == []
+
+    def test_resume_with_changed_seed_reexecutes(self, tiny_run_config, tmp_path):
+        from dataclasses import replace
+
+        path = tmp_path / "study.jsonl"
+        StudyRunner(base_config=tiny_run_config, study_name="res").run_all(GRID[:2], checkpoint=path)
+
+        executed = []
+        reseeded = StudyRunner(
+            base_config=replace(tiny_run_config, seed=tiny_run_config.seed + 1),
+            study_name="res",
+            on_result=lambda r: executed.append(r.name),
+        )
+        results = reseeded.run_all(GRID[:2], resume=path)
+        # Same names, but the checkpointed records carry the old seed — they
+        # must not be relabeled as the new study's results.
+        assert len(executed) == 2
+        assert all(r.seed == tiny_run_config.seed + 1 for r in results)
+
+    def test_resume_with_changed_overrides_reexecutes(self, tiny_run_config, tmp_path):
+        path = tmp_path / "study.jsonl"
+        runner = StudyRunner(base_config=tiny_run_config, study_name="res")
+        runner.run_all([{"_name": "a", "sigma": 1.0}], name_key="_name", checkpoint=path)
+        executed = []
+        changed = StudyRunner(
+            base_config=tiny_run_config, study_name="res", on_result=lambda r: executed.append(r.name)
+        )
+        changed.run_all([{"_name": "a", "sigma": 9.0}], name_key="_name", resume=path)
+        assert executed == ["res:a"]
+
+    def test_separate_checkpoint_seeded_with_resumed_records(self, tiny_run_config, tmp_path):
+        old = tmp_path / "old.jsonl"
+        new = tmp_path / "new.jsonl"
+        StudyRunner(base_config=tiny_run_config, study_name="res").run_all(GRID[:2], checkpoint=old)
+        StudyRunner(base_config=tiny_run_config, study_name="res").run_all(
+            GRID, checkpoint=new, resume=old
+        )
+        # The new file stands alone: it holds the spliced-in old runs plus
+        # the newly executed ones, so resuming from it skips everything.
+        assert len(JsonlCheckpoint(new).load()) == len(GRID)
+        executed = []
+        StudyRunner(
+            base_config=tiny_run_config, study_name="res", on_result=lambda r: executed.append(r.name)
+        ).run_all(GRID, resume=new)
+        assert executed == []
+
+
+class TestExecuteSpec:
+    def test_record_is_self_describing(self, tiny_run_config):
+        spec = RunSpec(
+            name="desc",
+            config=tiny_run_config.to_dict(),
+            overrides={"seed": 9},
+        )
+        record, result = execute_spec(spec)
+        assert record.workload == "heat2d"
+        assert record.seed == 9
+        assert result.config.seed == 9
+
+    def test_study_results_round_trip_preserves_engine_fields(self, tiny_run_config, tmp_path):
+        results = StudyRunner(base_config=tiny_run_config, study_name="rt").run_all(GRID[:1])
+        path = results.save_json(tmp_path / "rt.json")
+        loaded = StudyResults.load_json(path)
+        assert loaded.runs[0].workload == "heat2d"
+        assert loaded.runs[0].seed == tiny_run_config.seed

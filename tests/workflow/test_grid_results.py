@@ -110,3 +110,18 @@ class TestStudyResults:
         assert loaded.study == "demo"
         assert len(loaded) == 3
         assert loaded.best("loss").name == "b"
+
+    def test_workload_and_seed_round_trip(self, tmp_path):
+        # Multi-workload study JSON stays self-describing: each run records
+        # its effective workload and seed even when the config dict omits them.
+        results = StudyResults(study="multi")
+        results.add(RunResult("a", {"method": "breed"}, {"loss": 0.3}, workload="heat2d", seed=5))
+        results.add(RunResult("b", {"method": "breed"}, {"loss": 0.2}, workload="heat1d", seed=7))
+        path = results.save_json(tmp_path / "multi.json")
+        loaded = StudyResults.load_json(path)
+        assert [(r.workload, r.seed) for r in loaded] == [("heat2d", 5), ("heat1d", 7)]
+
+    def test_legacy_payload_without_workload_defaults(self):
+        run = RunResult.from_dict({"name": "old", "config": {}, "metrics": {"loss": 1.0}})
+        assert run.workload == "heat2d"
+        assert run.seed == 0
