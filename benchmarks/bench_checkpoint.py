@@ -1,0 +1,130 @@
+"""Checkpoint subsystem cost: snapshot latency and per-batch overhead.
+
+Two benches:
+
+* ``test_snapshot_save_restore_latency`` measures one full-session
+  ``save_session``/``restore_session`` round trip (plain and compressed) plus
+  the snapshot's on-disk size, for a mid-run session.
+* ``test_checkpoint_overhead_per_interval`` runs the same training
+  configuration with snapshotting disabled / every 100 / every 10 batches and
+  reports wall-clock and per-batch overhead — the number to consult when
+  choosing ``--checkpoint-every`` (the paper's fault-tolerance stance is that
+  durability must not meaningfully slow the hot loop).
+
+Run with ``pytest benchmarks/bench_checkpoint.py --benchmark-only -s``
+(add ``--benchmark-json out.json`` for machine-readable results, as for the
+other benches).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.api.session import TrainingSession
+from repro.checkpoint import restore_session, save_session
+from repro.experiments.base import base_config
+from repro.workflow.executor import TIMING_METRICS  # noqa: F401  (contract reference)
+
+
+def _bench_config(checkpoint_dir: str | None = None, checkpoint_every: int = 0):
+    config = base_config("smoke", method="breed", seed=0)
+    return dataclasses.replace(
+        config,
+        n_simulations=32,
+        max_iterations=200,
+        n_validation_trajectories=4,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+    )
+
+
+def _mid_run_session() -> TrainingSession:
+    session = TrainingSession(_bench_config())
+    while session.server.iteration < 100:
+        if not session.tick():
+            break
+    return session
+
+
+def _dir_size(path: Path) -> int:
+    return sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
+
+
+@pytest.mark.benchmark(group="checkpoint", min_rounds=1, max_time=2.0, warmup=False)
+def test_snapshot_save_restore_latency(benchmark, tmp_path):
+    session = _mid_run_session()
+    counter = {"n": 0}
+
+    def save_once():
+        # a fresh directory per round: save_session is idempotent per tick
+        counter["n"] += 1
+        return save_session(session, tmp_path / f"round-{counter['n']}")
+
+    snapshot = benchmark.pedantic(save_once, rounds=5, iterations=1)
+
+    start = time.perf_counter()
+    restored = restore_session(snapshot)
+    restore_seconds = time.perf_counter() - start
+    assert restored.server.iteration == session.server.iteration
+
+    start = time.perf_counter()
+    compressed = save_session(session, tmp_path / "compressed", compressed=True)
+    compressed_seconds = time.perf_counter() - start
+
+    emit(
+        "Session snapshot — save/restore latency and size (smoke scale, mid-run)",
+        format_table(
+            ["operation", "seconds", "snapshot size (KiB)"],
+            [
+                ("save", f"{benchmark.stats.stats.mean:.4f}", f"{_dir_size(snapshot) / 1024:.1f}"),
+                ("save (compressed)", f"{compressed_seconds:.4f}", f"{_dir_size(compressed) / 1024:.1f}"),
+                ("restore (incl. fast-forward)", f"{restore_seconds:.4f}", "-"),
+            ],
+        ),
+    )
+    assert _dir_size(compressed) <= _dir_size(snapshot)
+
+
+@pytest.mark.benchmark(group="checkpoint", min_rounds=1, max_time=2.0, warmup=False)
+def test_checkpoint_overhead_per_interval(benchmark, tmp_path):
+    def run(interval: int):
+        directory = str(tmp_path / f"every-{interval}") if interval else None
+        config = _bench_config(directory, checkpoint_every=interval)
+        start = time.perf_counter()
+        result = TrainingSession(config).run()
+        return result, time.perf_counter() - start
+
+    baseline, baseline_seconds = run(0)
+    sparse, sparse_seconds = run(100)
+    dense, dense_seconds = benchmark.pedantic(run, args=(10,), rounds=1, iterations=1)
+
+    # Snapshotting is an observer: results must be bit-identical either way.
+    assert dense.history.train_losses == baseline.history.train_losses
+    assert sparse.history.validation_losses == baseline.history.validation_losses
+
+    n_batches = float(baseline.server_summary["iterations"])
+    rows = []
+    for label, seconds in (
+        ("disabled", baseline_seconds),
+        ("every 100 batches", sparse_seconds),
+        ("every 10 batches", dense_seconds),
+    ):
+        overhead = seconds - baseline_seconds
+        rows.append(
+            (
+                label,
+                f"{seconds:.3f}",
+                f"{overhead:+.3f}",
+                f"{overhead / n_batches * 1e3:+.3f}",
+            )
+        )
+    emit(
+        f"Checkpoint overhead — {n_batches:.0f} training batches (smoke scale)",
+        format_table(["snapshot interval", "wall-clock (s)", "overhead (s)", "overhead/batch (ms)"], rows),
+    )

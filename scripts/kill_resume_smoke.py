@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke test: SIGKILL a checkpointing run, resume, compare.
+
+Driver mode (no ``--mode``) orchestrates the whole scenario in one command::
+
+    PYTHONPATH=src python scripts/kill_resume_smoke.py
+
+1. spawn a *victim* subprocess running a tiny fig3a-style training run
+   (H=16, L=1, Breed) with ``checkpoint_every`` snapshots, which SIGKILLs
+   itself mid-run — no cleanup, no atexit, exactly like an OOM kill or node
+   failure,
+2. check the victim died from SIGKILL and left complete snapshots behind,
+3. resume the run from its latest snapshot and drive it to completion,
+4. run the identical configuration uninterrupted, from scratch,
+5. assert the resumed and uninterrupted runs' final metrics and full loss
+   series are **bit-identical**.
+
+Exit code 0 means the fault-tolerance contract holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+
+def build_config(checkpoint_dir: str | None = None, checkpoint_every: int = 0):
+    from repro.experiments.base import base_config
+
+    config = base_config("smoke", method="breed", seed=0)
+    return dataclasses.replace(
+        config,
+        hidden_size=16,
+        n_hidden_layers=1,
+        n_simulations=24,
+        max_iterations=120,
+        n_validation_trajectories=4,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+    )
+
+
+def metrics_of(result) -> dict:
+    return {
+        "final_train_loss": result.final_train_loss,
+        "final_validation_loss": result.final_validation_loss,
+        "iterations": result.server_summary["iterations"],
+        "n_ticks": result.n_ticks,
+        "transport_bytes": result.transport_bytes,
+        "steering_events": len(result.steering_records),
+        "parameter_sources": result.parameter_sources,
+        "executed_parameters": result.executed_parameters.tolist(),
+        "train_losses": list(result.history.train_losses),
+        "train_iterations": list(result.history.train_iterations),
+        "validation_losses": list(result.history.validation_losses),
+        "validation_iterations": list(result.history.validation_iterations),
+    }
+
+
+def run_victim(workdir: Path, kill_at_iteration: int) -> None:
+    """Run with checkpointing and SIGKILL ourselves at the given iteration."""
+    from repro.checkpoint import resume_or_start
+
+    config = build_config(str(workdir / "snapshots"), checkpoint_every=20)
+    session = resume_or_start(config)
+
+    def kill(s) -> None:
+        if s.server.iteration >= kill_at_iteration:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    session.on_tick.append(kill)
+    session.run()
+    raise SystemExit("victim survived to completion; kill_at_iteration too high?")
+
+
+def run_resume(workdir: Path, out: Path) -> None:
+    from repro.checkpoint import resume_or_start
+
+    config = build_config(str(workdir / "snapshots"), checkpoint_every=20)
+    session = resume_or_start(config)
+    if session.server.iteration == 0:
+        raise SystemExit("no snapshot found to resume from")
+    result = session.run()
+    out.write_text(json.dumps(metrics_of(result)))
+
+
+def run_reference(out: Path) -> None:
+    from repro.api.session import TrainingSession
+
+    result = TrainingSession(build_config()).run()
+    out.write_text(json.dumps(metrics_of(result)))
+
+
+def drive(workdir: Path) -> int:
+    workdir.mkdir(parents=True, exist_ok=True)
+    print(f"[1/4] spawning victim (SIGKILL at iteration 60) in {workdir}")
+    victim = subprocess.run(
+        [sys.executable, __file__, "--mode", "victim", "--workdir", str(workdir)],
+        env=dict(os.environ),
+    )
+    if victim.returncode != -signal.SIGKILL and victim.returncode != 128 + signal.SIGKILL:
+        print(f"FAIL: victim exited with {victim.returncode}, expected SIGKILL")
+        return 1
+    snapshots = sorted((workdir / "snapshots").glob("step-*"))
+    print(f"[2/4] victim SIGKILLed; snapshots left behind: {[p.name for p in snapshots]}")
+    if not snapshots:
+        print("FAIL: the victim left no snapshots")
+        return 1
+
+    print("[3/4] resuming from the latest snapshot")
+    run_resume(workdir, workdir / "resumed.json")
+    print("[4/4] running the uninterrupted reference")
+    run_reference(workdir / "reference.json")
+
+    resumed = json.loads((workdir / "resumed.json").read_text())
+    reference = json.loads((workdir / "reference.json").read_text())
+    mismatches = [key for key in reference if resumed.get(key) != reference[key]]
+    if mismatches:
+        print(f"FAIL: resumed run differs from the reference in {mismatches}")
+        return 1
+    print(
+        "OK: kill-and-resume is bit-identical "
+        f"(final validation MSE {reference['final_validation_loss']:.6f}, "
+        f"{reference['iterations']:.0f} iterations)"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=["victim", "resume", "reference"], default=None)
+    parser.add_argument("--workdir", default="results/kill_resume_smoke")
+    parser.add_argument("--kill-at-iteration", type=int, default=60)
+    args = parser.parse_args()
+    workdir = Path(args.workdir)
+    if args.mode == "victim":
+        run_victim(workdir, args.kill_at_iteration)
+        return 1  # unreachable unless the kill never fired
+    if args.mode == "resume":
+        run_resume(workdir, workdir / "resumed.json")
+        return 0
+    if args.mode == "reference":
+        run_reference(workdir / "reference.json")
+        return 0
+    return drive(workdir)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,13 @@ Package layout
     Parameter-grid study orchestration (Snakemake substitute): grids, the
     pluggable serial/process executor backends with JSONL checkpoint/resume,
     and the :class:`~repro.workflow.study.StudyRunner` driving them.
+``repro.checkpoint``
+    Fault-tolerant session checkpointing: versioned atomic
+    ``SessionSnapshot`` directories capturing the full training-loop state
+    (weights, optimizer moments, reservoir, steering statistics, RNG
+    streams, client progress), a periodic ``CheckpointPolicy`` on the
+    session's ``on_tick`` hook, and bit-identical mid-run resume via
+    ``restore_session``/``resume_or_start``.
 ``repro.cli``
     The ``repro`` console script launching any registered experiment at any
     scale with any executor backend.
@@ -49,7 +56,7 @@ Package layout
     One module per paper table/figure, reproducing its rows/series.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.melissa.run import (
     OnlineTrainingConfig,

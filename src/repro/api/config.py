@@ -16,7 +16,7 @@ it for backward compatibility.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Mapping, TYPE_CHECKING
+from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
 
 from repro import nn
 from repro.api import registry as _registry
@@ -33,7 +33,14 @@ import repro.api.workloads  # noqa: F401  (imported for registration side effect
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.workloads import Workload
 
-__all__ = ["OnlineTrainingConfig"]
+__all__ = ["CHECKPOINT_FIELDS", "OnlineTrainingConfig"]
+
+#: configuration fields that control mid-run snapshotting but not the training
+#: mathematics — excluded from :meth:`OnlineTrainingConfig.digest` so a run is
+#: fingerprint-identical whether or not it checkpoints itself
+CHECKPOINT_FIELDS = frozenset(
+    {"checkpoint_every", "checkpoint_dir", "checkpoint_keep", "checkpoint_compressed"}
+)
 
 
 # --------------------------------------------------------------------------
@@ -102,6 +109,15 @@ class OnlineTrainingConfig:
     max_iterations: int = 400
     validation_period: int = 50
     n_validation_trajectories: int = 16
+    # --- fault tolerance ---------------------------------------------------
+    #: snapshot the full session every N training batches (0 disables)
+    checkpoint_every: int = 0
+    #: directory receiving the versioned session snapshots (None disables)
+    checkpoint_dir: Optional[str] = None
+    #: number of most-recent snapshots retained in ``checkpoint_dir``
+    checkpoint_keep: int = 3
+    #: write snapshot arrays with ``np.savez_compressed`` (slower, smaller)
+    checkpoint_compressed: bool = False
     # --- bookkeeping -------------------------------------------------------
     record_sample_statistics: bool = False
     seed: int = 0
@@ -137,6 +153,10 @@ class OnlineTrainingConfig:
             raise ValueError("invalid per-tick settings")
         if self.reservoir_watermark > self.reservoir_capacity:
             raise ValueError("reservoir_watermark cannot exceed reservoir_capacity")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 disables snapshots)")
+        if self.checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
 
     # ------------------------------------------------------------ factories
     def build_workload(self) -> "Workload":
@@ -188,12 +208,33 @@ class OnlineTrainingConfig:
             "max_iterations",
             "validation_period",
             "n_validation_trajectories",
+            "checkpoint_every",
+            "checkpoint_dir",
+            "checkpoint_keep",
+            "checkpoint_compressed",
             "record_sample_statistics",
             "seed",
             "max_ticks",
         ):
             data[name] = getattr(self, name)
         return data
+
+    def digest(self) -> str:
+        """Short stable fingerprint of the *training-relevant* configuration.
+
+        The checkpoint knobs (:data:`CHECKPOINT_FIELDS`) are excluded: a run
+        produces bit-identical results whether or not it snapshots itself, so
+        its fingerprint — used by study resume and by snapshot/restore
+        validation — must not depend on where (or how often) snapshots are
+        written.  Configurations predating these fields hash identically.
+        """
+        import hashlib
+        import json
+
+        payload = {k: v for k, v in self.to_dict().items() if k not in CHECKPOINT_FIELDS}
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True, default=str).encode()
+        ).hexdigest()[:16]
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "OnlineTrainingConfig":

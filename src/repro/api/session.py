@@ -212,6 +212,7 @@ class TrainingSession:
         self.pending_messages: Deque[TimeStepMessage] = deque()
         self.n_ticks = 0
         self._finalized = False
+        self._checkpoint_policy = None  # attached lazily by run()
 
         # --- hooks ----------------------------------------------------------
         #: called after every completed tick with the session
@@ -324,10 +325,98 @@ class TrainingSession:
 
     def run(self) -> OnlineTrainingResult:
         """Drive ticks until termination and return the collected result."""
+        self._ensure_checkpoint_policy()
         while self.n_ticks < self.config.max_ticks:
+            # A session restored from a snapshot taken at the run's final tick
+            # is already terminated; ticking it again would advance counters
+            # past the uninterrupted run's values.  (Always false mid-loop:
+            # tick() breaks out the moment should_stop() first turns true.)
+            if self.should_stop():
+                break
             if not self.tick():
                 break
         return self.result()
+
+    def _ensure_checkpoint_policy(self) -> None:
+        """Attach the configured periodic snapshot policy (once)."""
+        if self._checkpoint_policy is not None:
+            return
+        if self.config.checkpoint_every <= 0 or not self.config.checkpoint_dir:
+            return
+        # Imported lazily: repro.checkpoint builds on this module.
+        from repro.checkpoint.policy import CheckpointPolicy
+
+        self._checkpoint_policy = CheckpointPolicy(
+            directory=self.config.checkpoint_dir,
+            every_n_batches=self.config.checkpoint_every,
+            keep=self.config.checkpoint_keep,
+            compressed=self.config.checkpoint_compressed,
+        ).attach(self)
+
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> Dict[str, object]:
+        """Everything the training loop owns, as one nested state tree.
+
+        The tree contains only JSON-compatible scalars/containers and numpy
+        arrays; :func:`repro.checkpoint.save_session` splits it into an
+        ``arrays.npz`` + JSON manifest snapshot.  Static run inputs — the
+        workload, solver factorisation and Halton validation set — are
+        deterministic functions of the configuration and are rebuilt on
+        restore instead of being persisted.
+        """
+        pending = list(self.pending_messages)
+        state: Dict[str, object] = {
+            "n_ticks": self.n_ticks,
+            "finalized": self._finalized,
+            "streams": self.streams.state_dict(),
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "controller": self.controller.state_dict(),
+            "scheduler": self.scheduler.state_dict(),
+            "launcher": self.launcher.state_dict(),
+            "reservoir": self.reservoir.state_dict(),
+            "transport": self.transport.state_dict(),
+            "server": self.server.state_dict(),
+            "n_pending_messages": len(pending),
+        }
+        if pending:
+            state["pending_simulation_ids"] = np.array(
+                [int(m.simulation_id or 0) for m in pending], dtype=np.int64
+            )
+            state["pending_timesteps"] = np.array([m.timestep for m in pending], dtype=np.int64)
+            state["pending_parameters"] = np.stack([m.parameters for m in pending], axis=0)
+            state["pending_payloads"] = np.stack([m.payload for m in pending], axis=0)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a freshly constructed session to a snapshotted state.
+
+        The constructor has already rebuilt every component from the
+        configuration (drawing initialisation randomness in the process);
+        loading overwrites all mutable state — including the RNG stream
+        states, in place, so components sharing a generator stay aliased —
+        which makes the restored session bit-identical to the saved one.
+        """
+        self.streams.load_state_dict(state["streams"])  # type: ignore[arg-type]
+        self.model.load_state_dict(state["model"])  # type: ignore[arg-type]
+        self.optimizer.load_state_dict(state["optimizer"])  # type: ignore[arg-type]
+        self.controller.load_state_dict(state["controller"])  # type: ignore[arg-type]
+        self.scheduler.load_state_dict(state["scheduler"])  # type: ignore[arg-type]
+        self.launcher.load_state_dict(state["launcher"])  # type: ignore[arg-type]
+        self.reservoir.load_state_dict(state["reservoir"])  # type: ignore[arg-type]
+        self.transport.load_state_dict(state["transport"])  # type: ignore[arg-type]
+        self.server.load_state_dict(state["server"])  # type: ignore[arg-type]
+        self.pending_messages = deque(
+            TimeStepMessage(
+                simulation_id=int(state["pending_simulation_ids"][index]),  # type: ignore[index]
+                parameters=np.asarray(state["pending_parameters"][index]),  # type: ignore[index]
+                timestep=int(state["pending_timesteps"][index]),  # type: ignore[index]
+                payload=np.asarray(state["pending_payloads"][index]),  # type: ignore[index]
+            )
+            for index in range(int(state["n_pending_messages"]))  # type: ignore[arg-type]
+        )
+        self.n_ticks = int(state["n_ticks"])  # type: ignore[arg-type]
+        self._finalized = bool(state["finalized"])
 
     # ---------------------------------------------------------------- result
     def result(self) -> OnlineTrainingResult:

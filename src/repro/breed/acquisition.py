@@ -173,6 +173,50 @@ class LossDeviationTracker:
             )
         return mean, std
 
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> dict:
+        """Every per-simulation statistic, preserving both dict orders.
+
+        Record order and per-timestep order are preserved exactly:
+        :meth:`window` feeds ``q_value`` means into AMIS, and
+        :meth:`_SimulationRecord.q_value` averages ``per_timestep`` values in
+        insertion order — floating-point summation order is part of the
+        bit-identical resume contract.
+        """
+        return {
+            "update_counter": self._update_counter,
+            "n_observations": self.n_observations,
+            "records": [
+                {
+                    "simulation_id": sid,
+                    "parameters": record.parameters.copy(),
+                    "last_update_order": record.last_update_order,
+                    "n_observations": record.n_observations,
+                    "timesteps": np.array(list(record.per_timestep), dtype=np.int64),
+                    "means": np.array([m.mean for m in record.per_timestep.values()], dtype=np.float64),
+                    "counts": np.array([m.count for m in record.per_timestep.values()], dtype=np.int64),
+                }
+                for sid, record in self._records.items()
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._update_counter = int(state["update_counter"])
+        self.n_observations = int(state["n_observations"])
+        self._records = {}
+        for payload in state["records"]:
+            record = _SimulationRecord(
+                parameters=np.asarray(payload["parameters"], dtype=np.float64).copy(),
+                last_update_order=int(payload["last_update_order"]),
+                n_observations=int(payload["n_observations"]),
+            )
+            for timestep, mean, count in zip(payload["timesteps"], payload["means"], payload["counts"]):
+                tracker = OnlineMean()
+                tracker.mean = float(mean)
+                tracker.count = int(count)
+                record.per_timestep[int(timestep)] = tracker
+            self._records[int(payload["simulation_id"])] = record
+
     # -------------------------------------------------------------- queries
     def __len__(self) -> int:
         return len(self._records)

@@ -41,6 +41,13 @@ class ResamplingTrigger(abc.ABC):
     def notify_fired(self, iteration: int) -> None:
         """Inform the trigger that a resampling was actually performed."""
 
+    def state_dict(self) -> dict:
+        """Mutable trigger state for session snapshots (stateless by default)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (no-op for stateless triggers)."""
+
 
 @dataclass
 class PeriodicTrigger(ResamplingTrigger):
@@ -60,6 +67,12 @@ class PeriodicTrigger(ResamplingTrigger):
 
     def notify_fired(self, iteration: int) -> None:
         self._last_fired = iteration
+
+    def state_dict(self) -> dict:
+        return {"last_fired": self._last_fired}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._last_fired = int(state.get("last_fired", 0))
 
 
 @dataclass
@@ -123,3 +136,18 @@ class AdaptiveTrigger(ResamplingTrigger):
 
     def notify_fired(self, iteration: int) -> None:
         self._last_fired = iteration
+
+    def state_dict(self) -> dict:
+        """Cool-down anchor and criterion trace — both drive future firings."""
+        return {
+            "last_fired": self._last_fired,
+            "history_iterations": [int(i) for i, _ in self.history],
+            "history_values": [float(v) for _, v in self.history],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._last_fired = int(state.get("last_fired", 0))
+        self.history = [
+            (int(i), float(v))
+            for i, v in zip(state.get("history_iterations", ()), state.get("history_values", ()))
+        ]

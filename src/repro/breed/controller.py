@@ -126,6 +126,49 @@ class BreedController:
                 register(sim_id, params)
         return n
 
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> dict:
+        """Sampler state plus applied-steering bookkeeping.
+
+        The steering timer's accumulated wall-clock total is carried over so
+        overhead reports cover the whole (interrupted) run; it is measurement,
+        not behaviour, and stays excluded from bit-identity contracts.
+        """
+        return {
+            "sampler": self.sampler.state_dict(),
+            "steering_total_seconds": self.steering_timer.total,
+            "steering_count": self.steering_timer.count,
+            "records": [
+                {
+                    "iteration": record.iteration,
+                    "resampling_index": record.resampling_index,
+                    "simulation_ids": list(record.simulation_ids),
+                    "sources": list(record.sources),
+                    "n_requested": record.n_requested,
+                    "n_applied": record.n_applied,
+                    "elapsed_seconds": record.elapsed_seconds,
+                }
+                for record in self.records
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.sampler.load_state_dict(state["sampler"])
+        self.steering_timer.total = float(state["steering_total_seconds"])
+        self.steering_timer.count = int(state["steering_count"])
+        self.records = [
+            SteeringRecord(
+                iteration=int(payload["iteration"]),
+                resampling_index=int(payload["resampling_index"]),
+                simulation_ids=[int(i) for i in payload["simulation_ids"]],
+                sources=[str(s) for s in payload["sources"]],
+                n_requested=int(payload["n_requested"]),
+                n_applied=int(payload["n_applied"]),
+                elapsed_seconds=float(payload["elapsed_seconds"]),
+            )
+            for payload in state["records"]
+        ]
+
     # ------------------------------------------------------------- overhead
     @property
     def total_steering_seconds(self) -> float:

@@ -100,6 +100,14 @@ class SteeringSampler(abc.ABC):
         """Produce replacement parameters for ``n_pending`` simulations."""
         return None
 
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> dict:
+        """Mutable sampler state for session snapshots (stateless by default)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (no-op for stateless samplers)."""
+
     @property
     def name(self) -> str:
         return self.__class__.__name__
@@ -282,6 +290,47 @@ class BreedSampler(SteeringSampler):
         if self.trigger is not None:
             self.trigger.notify_fired(iteration)
         return decision
+
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> dict:
+        """Tracker statistics, resampling counters and past decisions.
+
+        Decision history keeps the fields the analyses read (parameters,
+        sources, iteration indices); the per-decision AMIS diagnostics are
+        derived artefacts and are not carried across a restore.
+        """
+        return {
+            "resampling_count": self.resampling_count,
+            "last_trigger_iteration": self._last_trigger_iteration,
+            "trigger": None if self.trigger is None else self.trigger.state_dict(),
+            "tracker": self.tracker.state_dict(),
+            "decisions": [
+                {
+                    "parameters": decision.parameters.copy(),
+                    "sources": list(decision.sources),
+                    "iteration": decision.iteration,
+                    "resampling_index": decision.resampling_index,
+                }
+                for decision in self.decisions
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.resampling_count = int(state["resampling_count"])
+        last = state["last_trigger_iteration"]
+        self._last_trigger_iteration = None if last is None else int(last)
+        if self.trigger is not None and state.get("trigger") is not None:
+            self.trigger.load_state_dict(state["trigger"])
+        self.tracker.load_state_dict(state["tracker"])
+        self.decisions = [
+            ResampleDecision(
+                parameters=np.asarray(payload["parameters"], dtype=np.float64),
+                sources=[str(s) for s in payload["sources"]],
+                iteration=int(payload["iteration"]),
+                resampling_index=int(payload["resampling_index"]),
+            )
+            for payload in state["decisions"]
+        ]
 
     @property
     def name(self) -> str:

@@ -13,12 +13,22 @@ and resume interrupted studies from their JSONL checkpoints::
 Study-shaped experiments (fig3a, fig3b) honour ``--jobs``/``--backend`` and
 checkpoint each run as it finishes; the single/dual-run experiments (fig4,
 fig6, overhead) need the full in-process results and always run serially.
+
+``--checkpoint-every N`` additionally snapshots every run's *full session
+state* every N training batches (see :mod:`repro.checkpoint`), and
+``--restore`` resumes an interrupted invocation: completed runs are spliced
+in from the JSONL checkpoint and partially completed runs re-enter
+bit-identically from their latest session snapshot::
+
+    python -m repro.cli fig3a --scale small --checkpoint-every 100   # … SIGKILL …
+    python -m repro.cli fig3a --scale small --checkpoint-every 100 --restore
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -67,12 +77,18 @@ def _checkpoint_path(args: argparse.Namespace, experiment: str) -> Path:
     Without ``--resume`` the file describes *this* invocation only — stale
     records from previous runs (possibly with other seeds) must not
     accumulate, or a later ``--resume`` would splice in whichever happened
-    to be written last.
+    to be written last.  The sibling ``<checkpoint>.snapshots/`` directory is
+    cleared under the same rule: a deliberately fresh invocation must not
+    silently resume runs mid-way from a previous invocation's session
+    snapshots (their wall-clock metrics would describe two invocations).
     """
     path = _out_dir(args) / f"{experiment}_{args.scale}.runs.jsonl"
     resuming_from_it = args.resume is not None and Path(args.resume).resolve() == path.resolve()
     if path.exists() and not resuming_from_it:
         path.unlink()
+    snapshots = path.parent / f"{path.name}.snapshots"
+    if snapshots.is_dir() and not resuming_from_it:
+        shutil.rmtree(snapshots)
     return path
 
 
@@ -108,6 +124,7 @@ def _run_fig3a(args: argparse.Namespace) -> Dict[str, object]:
         max_workers=jobs,
         checkpoint=_checkpoint_path(args, "fig3a"),
         resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
     )
     print(format_table(
         ["architecture", "method", "train MSE", "validation MSE", "gap (val-train)"],
@@ -138,6 +155,7 @@ def _run_fig3b(args: argparse.Namespace) -> Dict[str, object]:
         max_workers=jobs,
         checkpoint=_checkpoint_path(args, "fig3b"),
         resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
     )
     print(format_table(
         ["hyper-parameter", "value", "train MSE", "validation MSE", "gap (val-train)"],
@@ -225,6 +243,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output directory for result JSON and checkpoints (default: results/)")
     parser.add_argument("--resume", default=None, metavar="JSONL",
                         help="JSONL checkpoint of a previous invocation; completed runs are skipped")
+    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="snapshot each run's full session state every N training batches "
+                             "(crash-safe mid-run checkpointing; see --restore)")
+    parser.add_argument("--restore", action="store_true",
+                        help="resume this experiment's previous invocation from --out: completed "
+                             "runs are spliced from the JSONL checkpoint (implies --resume on the "
+                             "default checkpoint path); combine with --checkpoint-every to also "
+                             "re-enter partially completed runs from their session snapshots")
     parser.add_argument("--factor", action="append", default=None, metavar="NAME",
                         help="fig3b: restrict to this hyper-parameter (repeatable)")
     parser.add_argument("--hidden", action="append", type=int, default=None, metavar="H",
@@ -253,6 +279,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("repro: specify an experiment or --list", file=sys.stderr)
         return 2
     experiment = EXPERIMENTS[args.experiment]
+    if experiment.parallel and args.restore and args.resume is None:
+        # --restore without an explicit --resume continues this invocation's
+        # default checkpoint: the JSONL written under --out by the previous,
+        # interrupted run of the same experiment and scale.
+        args.resume = str(_out_dir(args) / f"{experiment.name}_{args.scale}.runs.jsonl")
+    if experiment.parallel and args.restore and args.checkpoint_every is None:
+        print(
+            "note: --restore without --checkpoint-every splices completed runs only; "
+            "repeat --checkpoint-every N to re-enter partially completed runs from "
+            "their session snapshots",
+            file=sys.stderr,
+        )
     if not experiment.parallel:
         ignored = [
             flag
@@ -260,6 +298,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 ("--jobs", args.jobs is not None and args.jobs > 1),
                 ("--backend", args.backend == "process"),
                 ("--resume", args.resume is not None),
+                ("--restore", args.restore),
+                ("--checkpoint-every", args.checkpoint_every is not None),
             )
             if value
         ]

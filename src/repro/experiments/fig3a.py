@@ -121,14 +121,25 @@ def run_fig3a(
     max_workers: Optional[int] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     resume: Optional[Union[str, Path]] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> Fig3aResult:
-    """Run the architecture study and return its loss curves."""
+    """Run the architecture study and return its loss curves.
+
+    ``checkpoint_every`` enables mid-run session snapshots: a resumed study
+    re-enters partially completed runs at the batch they were killed at.
+    """
     template = base_config(scale, method="breed", seed=seed)
     runner = StudyRunner(
         base_config=template, study_name="fig3a", backend=backend, max_workers=max_workers
     )
     configurations = fig3a_configurations(hidden_sizes, layer_counts, methods)
-    study = runner.run_all(configurations, name_key="_name", checkpoint=checkpoint, resume=resume)
+    study = runner.run_all(
+        configurations,
+        name_key="_name",
+        checkpoint=checkpoint,
+        resume=resume,
+        checkpoint_every=checkpoint_every,
+    )
 
     cells: List[Fig3aCell] = []
     for hidden in hidden_sizes:

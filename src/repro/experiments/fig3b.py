@@ -127,8 +127,13 @@ def run_fig3b(
     max_workers: Optional[int] = None,
     checkpoint: Optional[Union[str, Path]] = None,
     resume: Optional[Union[str, Path]] = None,
+    checkpoint_every: Optional[int] = None,
 ) -> Fig3bResult:
-    """Run the hyper-parameter study (one factor at a time)."""
+    """Run the hyper-parameter study (one factor at a time).
+
+    ``checkpoint_every`` enables mid-run session snapshots: a resumed study
+    re-enters partially completed runs at the batch they were killed at.
+    """
     if factors is None:
         factors = SMOKE_FACTORS if scale == "smoke" else PAPER_FACTORS
     template = base_config(scale, method="breed", seed=seed)
@@ -136,7 +141,9 @@ def run_fig3b(
         base_config=template, study_name="fig3b", backend=backend, max_workers=max_workers
     )
     configurations = fig3b_configurations(factors, seed=seed)
-    study = runner.run_all(configurations, checkpoint=checkpoint, resume=resume)
+    study = runner.run_all(
+        configurations, checkpoint=checkpoint, resume=resume, checkpoint_every=checkpoint_every
+    )
 
     panels: List[Fig3bPanel] = []
     for factor in factors:

@@ -70,6 +70,43 @@ class SolverClient:
             self.n_produced += 1
         return messages
 
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> dict:
+        """Trajectory progress of this client (solver state is re-derived)."""
+        return {
+            "simulation_id": self.simulation_id,
+            "parameters": self.parameters.copy(),
+            "next_timestep": self._next_timestep,
+            "n_produced": self.n_produced,
+            "finished": self.finished,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore progress by fast-forwarding the deterministic solver.
+
+        Solvers are pure functions of their parameter vector, so re-running
+        the iterator and discarding the first ``next_timestep`` fields puts a
+        fresh client into the bit-identical mid-trajectory state the snapshot
+        captured, without persisting solution fields.
+        """
+        if int(state["simulation_id"]) != self.simulation_id:
+            raise ValueError(
+                f"client state is for simulation {state['simulation_id']}, "
+                f"this client is {self.simulation_id}"
+            )
+        self.parameters = np.asarray(state["parameters"], dtype=np.float64).copy()
+        self.finished = bool(state["finished"])
+        self.n_produced = int(state["n_produced"])
+        target = int(state["next_timestep"])
+        self._iterator = None
+        self._next_timestep = 0
+        if not self.finished and target > 0:
+            self._ensure_started()
+            assert self._iterator is not None
+            for _ in range(target):
+                next(self._iterator)
+        self._next_timestep = target
+
     def finish_message(self) -> SimulationFinished:
         return SimulationFinished(simulation_id=self.simulation_id, n_timesteps=self.n_produced)
 

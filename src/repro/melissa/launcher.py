@@ -185,6 +185,51 @@ class Launcher:
                 "launcher", "parameters_updated", simulation_id=simulation_id, origin=source
             )
 
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> Dict[str, object]:
+        """Ledger of every simulation, including running clients' progress."""
+        return {
+            "highest_submitted_id": self.highest_submitted_id,
+            "next_to_submit": self._next_to_submit,
+            "factory_created": list(self.client_factory.created),
+            "records": [
+                {
+                    "simulation_id": record.simulation_id,
+                    "parameters": record.parameters.copy(),
+                    "source": record.source,
+                    "state": record.state.value,
+                    "n_updates": record.n_updates,
+                    "history": list(record.history),
+                    "client": None if record.client is None else record.client.state_dict(),
+                }
+                for record in self.records.values()
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Rebuild the ledger; running clients are fast-forwarded in place."""
+        records: Dict[int, SimulationRecord] = {}
+        for payload in state["records"]:  # type: ignore[union-attr]
+            record = SimulationRecord(
+                simulation_id=int(payload["simulation_id"]),
+                parameters=np.asarray(payload["parameters"], dtype=np.float64),
+                source=str(payload["source"]),
+                state=SimulationState(payload["state"]),
+                n_updates=int(payload["n_updates"]),
+                history=[str(item) for item in payload["history"]],
+            )
+            if payload["client"] is not None:
+                client = self.client_factory.create(record.simulation_id, record.parameters)
+                client.load_state_dict(payload["client"])
+                record.client = client
+            records[record.simulation_id] = record
+        self.records = records
+        self.highest_submitted_id = int(state["highest_submitted_id"])  # type: ignore[arg-type]
+        self._next_to_submit = int(state["next_to_submit"])  # type: ignore[arg-type]
+        # Rebuilding clients above appended to the factory log; restore it to
+        # the snapshot's view so analysis counters stay faithful.
+        self.client_factory.created = [int(i) for i in state["factory_created"]]  # type: ignore[union-attr]
+
     # -------------------------------------------------------------- analysis
     def executed_parameters(self) -> tuple[np.ndarray, List[str]]:
         """Parameters and provenance of every simulation, in id order.

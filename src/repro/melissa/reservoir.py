@@ -151,6 +151,50 @@ class Reservoir:
         self.n_batches += 1
         return ReservoirBatch(inputs=xs, targets=ys, simulation_ids=sim_ids, timesteps=steps)
 
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> dict:
+        """Full buffer content and counters (entries stacked into arrays)."""
+        n = len(self._entries)
+        state: dict = {
+            "capacity": self.capacity,
+            "watermark": self.watermark,
+            "n_entries": n,
+            "n_received": self.n_received,
+            "n_rejected": self.n_rejected,
+            "n_evicted": self.n_evicted,
+            "n_batches": self.n_batches,
+        }
+        if n:
+            state["simulation_ids"] = np.array([e.simulation_id for e in self._entries], dtype=np.int64)
+            state["timesteps"] = np.array([e.timestep for e in self._entries], dtype=np.int64)
+            state["seen_counts"] = self.seen_counts()
+            state["xs"] = np.stack([e.x for e in self._entries], axis=0)
+            state["ys"] = np.stack([e.y for e in self._entries], axis=0)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the buffer in entry order (eviction indices depend on it)."""
+        if int(state["capacity"]) != self.capacity or int(state["watermark"]) != self.watermark:
+            raise ValueError(
+                "reservoir geometry mismatch: state has "
+                f"capacity={state['capacity']}/watermark={state['watermark']}, "
+                f"reservoir has {self.capacity}/{self.watermark}"
+            )
+        self.n_received = int(state["n_received"])
+        self.n_rejected = int(state["n_rejected"])
+        self.n_evicted = int(state["n_evicted"])
+        self.n_batches = int(state["n_batches"])
+        self._entries = []
+        for index in range(int(state["n_entries"])):
+            entry = ReservoirEntry(
+                simulation_id=int(state["simulation_ids"][index]),
+                timestep=int(state["timesteps"][index]),
+                x=np.array(state["xs"][index], dtype=np.float64, copy=True),
+                y=np.array(state["ys"][index], dtype=np.float64, copy=True),
+                seen_count=int(state["seen_counts"][index]),
+            )
+            self._entries.append(entry)
+
     # ------------------------------------------------------------- analysis
     def reuse_statistics(self) -> Tuple[float, int]:
         """Mean and maximum seen-count over the current buffer content."""

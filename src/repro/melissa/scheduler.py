@@ -136,6 +136,46 @@ class BatchScheduler:
         job.state = JobState.COMPLETED
         job.completed_tick = self._tick
 
+    # --------------------------------------------------------------- state
+    def state_dict(self) -> Dict[str, object]:
+        """Tick counter and every job record, in submission order."""
+        return {
+            "tick": self._tick,
+            "job_limit": self.job_limit,
+            "max_start_delay": self.max_start_delay,
+            "jobs": [
+                {
+                    "job_id": job.job_id,
+                    "submitted_tick": job.submitted_tick,
+                    "eligible_tick": job.eligible_tick,
+                    "state": job.state.value,
+                    "started_tick": job.started_tick,
+                    "completed_tick": job.completed_tick,
+                }
+                for job in self._jobs.values()
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        if int(state["job_limit"]) != self.job_limit:  # type: ignore[arg-type]
+            raise ValueError(
+                f"scheduler job_limit mismatch: state has {state['job_limit']}, "
+                f"scheduler has {self.job_limit}"
+            )
+        self._tick = int(state["tick"])  # type: ignore[arg-type]
+        self.max_start_delay = int(state["max_start_delay"])  # type: ignore[arg-type]
+        self._jobs = {}
+        for payload in state["jobs"]:  # type: ignore[union-attr]
+            job = SchedulerJob(
+                job_id=int(payload["job_id"]),
+                submitted_tick=int(payload["submitted_tick"]),
+                eligible_tick=int(payload["eligible_tick"]),
+                state=JobState(payload["state"]),
+                started_tick=None if payload["started_tick"] is None else int(payload["started_tick"]),
+                completed_tick=None if payload["completed_tick"] is None else int(payload["completed_tick"]),
+            )
+            self._jobs[job.job_id] = job
+
     # ------------------------------------------------------------- summary
     def summary(self) -> Dict[str, int]:
         counts = {state.value: 0 for state in JobState}

@@ -77,6 +77,46 @@ class TrainingHistory:
             np.asarray(self.validation_losses, dtype=np.float64),
         )
 
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> dict:
+        """Loss curves (and optional per-sample statistics) as stacked arrays."""
+        state: dict = {
+            "train_losses": np.asarray(self.train_losses, dtype=np.float64),
+            "train_iterations": np.asarray(self.train_iterations, dtype=np.int64),
+            "validation_losses": np.asarray(self.validation_losses, dtype=np.float64),
+            "validation_iterations": np.asarray(self.validation_iterations, dtype=np.int64),
+            "n_sample_statistics": len(self.sample_statistics),
+        }
+        if self.sample_statistics:
+            stats = self.sample_statistics
+            state["stat_iterations"] = np.array([s.iteration for s in stats], dtype=np.int64)
+            state["stat_simulation_ids"] = np.array([s.simulation_id for s in stats], dtype=np.int64)
+            state["stat_timesteps"] = np.array([s.timestep for s in stats], dtype=np.int64)
+            state["stat_sample_losses"] = np.array([s.sample_loss for s in stats], dtype=np.float64)
+            state["stat_uniform"] = np.array([s.uniform for s in stats], dtype=np.bool_)
+            state["stat_batch_losses"] = np.array([s.batch_loss for s in stats], dtype=np.float64)
+            state["stat_deviations"] = np.array([s.deviation for s in stats], dtype=np.float64)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.train_losses = [float(v) for v in state["train_losses"]]
+        self.train_iterations = [int(v) for v in state["train_iterations"]]
+        self.validation_losses = [float(v) for v in state["validation_losses"]]
+        self.validation_iterations = [int(v) for v in state["validation_iterations"]]
+        self.sample_statistics = []
+        for index in range(int(state["n_sample_statistics"])):
+            self.sample_statistics.append(
+                SampleStatistic(
+                    iteration=int(state["stat_iterations"][index]),
+                    simulation_id=int(state["stat_simulation_ids"][index]),
+                    timestep=int(state["stat_timesteps"][index]),
+                    sample_loss=float(state["stat_sample_losses"][index]),
+                    uniform=bool(state["stat_uniform"][index]),
+                    batch_loss=float(state["stat_batch_losses"][index]),
+                    deviation=float(state["stat_deviations"][index]),
+                )
+            )
+
 
 class TrainingServer:
     """Receives data, trains the surrogate, and triggers steering."""
@@ -206,6 +246,33 @@ class TrainingServer:
                     deviation=deviation,
                 )
             )
+
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> dict:
+        """Server counters, history and per-simulation provenance flags.
+
+        The model, optimizer, reservoir and controller are snapshotted by
+        their owners (see :meth:`repro.api.session.TrainingSession.state_dict`);
+        wall-clock phase timers are measurement, not state, and restart at
+        zero after a restore.
+        """
+        flags = sorted(self.uniform_source_flags.items())
+        return {
+            "iteration": self.iteration,
+            "n_samples_received": self.n_samples_received,
+            "uniform_flag_ids": np.array([sid for sid, _ in flags], dtype=np.int64),
+            "uniform_flag_values": np.array([bool(v) for _, v in flags], dtype=np.bool_),
+            "history": self.history.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.iteration = int(state["iteration"])
+        self.n_samples_received = int(state["n_samples_received"])
+        self.uniform_source_flags = {
+            int(sid): bool(value)
+            for sid, value in zip(state["uniform_flag_ids"], state["uniform_flag_values"])
+        }
+        self.history.load_state_dict(state["history"])
 
     # ---------------------------------------------------------------- report
     def evaluate_validation(self) -> Optional[float]:

@@ -125,6 +125,33 @@ class InProcessTransport:
         """Volume-account a client→server message on the data channel."""
         self.data.account(message)
 
+    # ---------------------------------------------------------------- state
+    def state_dict(self) -> Dict[str, object]:
+        """Per-channel volume counters (in-flight queue contents are owned by
+        the session's pending queue and snapshotted there)."""
+        return {
+            "channels": [
+                {
+                    "name": channel.name,
+                    "maxsize": channel.maxsize,
+                    "n_messages": channel.stats.n_messages,
+                    "n_bytes": channel.stats.n_bytes,
+                    "max_depth": channel.stats.max_depth,
+                    "n_dropped": channel.stats.n_dropped,
+                }
+                for channel in self.channels.values()
+            ]
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        for payload in state["channels"]:  # type: ignore[union-attr]
+            channel = self.channel(str(payload["name"]))
+            channel.maxsize = int(payload["maxsize"])
+            channel.stats.n_messages = int(payload["n_messages"])
+            channel.stats.n_bytes = int(payload["n_bytes"])
+            channel.stats.max_depth = int(payload["max_depth"])
+            channel.stats.n_dropped = int(payload["n_dropped"])
+
     def total_bytes(self) -> int:
         return sum(c.stats.n_bytes for c in self.channels.values())
 

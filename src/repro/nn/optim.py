@@ -62,6 +62,25 @@ class SGD(Optimizer):
         self.nesterov = nesterov
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["velocity"] = [None if v is None else v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        if "velocity" in state:
+            velocity = state["velocity"]  # type: ignore[assignment]
+            if len(velocity) != len(self._velocity):  # type: ignore[arg-type]
+                raise ValueError(
+                    f"velocity state has {len(velocity)} entries, "  # type: ignore[arg-type]
+                    f"optimizer has {len(self._velocity)} parameters"
+                )
+            self._velocity = [
+                None if v is None else np.array(v, dtype=np.float64, copy=True)
+                for v in velocity  # type: ignore[union-attr]
+            ]
+
     def step(self) -> None:
         self.step_count += 1
         for index, param in enumerate(self.parameters):
@@ -137,11 +156,16 @@ class Adam(Optimizer):
 
     def load_state_dict(self, state: Dict[str, object]) -> None:
         super().load_state_dict(state)
-        if "m" in state:
-            for dst, src in zip(self._m, state["m"]):  # type: ignore[arg-type]
-                dst[...] = src
-        if "v" in state:
-            for dst, src in zip(self._v, state["v"]):  # type: ignore[arg-type]
+        for key, buffers in (("m", self._m), ("v", self._v)):
+            if key not in state:
+                continue
+            values = state[key]
+            if len(values) != len(buffers):  # type: ignore[arg-type]
+                raise ValueError(
+                    f"Adam {key!r} state has {len(values)} entries, "  # type: ignore[arg-type]
+                    f"optimizer has {len(buffers)} parameters"
+                )
+            for dst, src in zip(buffers, values):  # type: ignore[arg-type]
                 dst[...] = src
 
 

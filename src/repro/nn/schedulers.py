@@ -33,6 +33,21 @@ class LRScheduler:
         self.history.append(lr)
         return lr
 
+    def state_dict(self) -> dict:
+        """Schedule progress (step counter, LR trace, current optimizer LR)."""
+        return {
+            "last_step": self.last_step,
+            "base_lr": self.base_lr,
+            "history": list(self.history),
+            "optimizer_lr": float(self.optimizer.lr),  # type: ignore[attr-defined]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.last_step = int(state["last_step"])
+        self.base_lr = float(state.get("base_lr", self.base_lr))
+        self.history = [float(lr) for lr in state.get("history", self.history)]
+        self.optimizer.lr = float(state.get("optimizer_lr", self.history[-1]))  # type: ignore[attr-defined]
+
 
 class ConstantLR(LRScheduler):
     def get_lr(self) -> float:
@@ -104,3 +119,16 @@ class ReduceLROnPlateau(LRScheduler):
                 self._current = max(self._current * self.factor, self.min_lr)
                 self._bad_steps = 0
         return self.step()
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["best"] = self._best
+        state["bad_steps"] = self._bad_steps
+        state["current"] = self._current
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._best = float(state.get("best", math.inf))
+        self._bad_steps = int(state.get("bad_steps", 0))
+        self._current = float(state.get("current", self.optimizer.lr))  # type: ignore[attr-defined]

@@ -3,11 +3,18 @@
 Checkpoints are stored as ``.npz`` archives (one array per state-dict entry)
 plus a small JSON sidecar describing architecture hyper-parameters, which is
 sufficient to resume or analyse a surrogate after an experiment.
+
+Writes are *atomic*: the archive is written to a temporary file in the target
+directory and moved into place with :func:`os.replace`, so a crash mid-write
+can never leave a torn ``.npz`` behind — at worst a stale temporary file that
+the next save overwrites.  ``compressed=True`` trades save latency for disk
+space through :func:`numpy.savez_compressed`.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
@@ -20,13 +27,28 @@ __all__ = ["save_checkpoint", "load_checkpoint", "save_state_dict", "load_state_
 _META_SUFFIX = ".meta.json"
 
 
-def save_state_dict(path: str | Path, state: Dict[str, np.ndarray]) -> Path:
-    """Write a state dict as an ``.npz`` archive and return the path."""
+def save_state_dict(
+    path: str | Path, state: Dict[str, np.ndarray], compressed: bool = False
+) -> Path:
+    """Write a state dict as an ``.npz`` archive atomically and return the path.
+
+    The archive is first written to ``<name>.tmp-<pid>`` next to the target and
+    then renamed over it, so readers never observe a partially written file.
+    ``compressed=True`` uses :func:`numpy.savez_compressed` (zip-deflate).
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **state)
+    tmp_path = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    saver = np.savez_compressed if compressed else np.savez
+    try:
+        with open(tmp_path, "wb") as stream:
+            saver(stream, **state)
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():  # a failed save must not leave the tmp file behind
+            tmp_path.unlink()
     return path
 
 
@@ -42,25 +64,61 @@ def save_checkpoint(
     path: str | Path,
     model: Module,
     metadata: Optional[Dict[str, Any]] = None,
+    compressed: bool = False,
 ) -> Path:
     """Save model weights plus a JSON metadata sidecar."""
-    path = save_state_dict(path, model.state_dict())
+    path = save_state_dict(path, model.state_dict(), compressed=compressed)
     meta = dict(metadata or {})
     meta.setdefault("num_parameters", model.num_parameters())
     meta_path = path.with_suffix(path.suffix + _META_SUFFIX)
-    meta_path.write_text(json.dumps(meta, indent=2, sort_keys=True))
+    tmp_meta = meta_path.with_name(f"{meta_path.name}.tmp-{os.getpid()}")
+    try:
+        tmp_meta.write_text(json.dumps(meta, indent=2, sort_keys=True))
+        os.replace(tmp_meta, meta_path)
+    finally:
+        if tmp_meta.exists():  # a failed save must not leave the tmp file behind
+            tmp_meta.unlink()
     return path
 
 
-def load_checkpoint(path: str | Path, model: Module) -> Tuple[Module, Dict[str, Any]]:
-    """Load weights into ``model`` in-place; returns (model, metadata)."""
+def load_checkpoint(
+    path: str | Path,
+    model: Module,
+    require_metadata: bool = True,
+) -> Tuple[Module, Dict[str, Any]]:
+    """Load weights into ``model`` in-place; returns (model, metadata).
+
+    A checkpoint written by :func:`save_checkpoint` always has a
+    ``<name>.npz.meta.json`` sidecar; a missing one means the caller points at
+    a bare weight archive (or a partially copied checkpoint), so by default a
+    :class:`FileNotFoundError` naming the expected sidecar is raised instead
+    of silently continuing (pass ``require_metadata=False`` to accept bare
+    archives and get empty metadata).  A corrupt sidecar raises a
+    :class:`ValueError` naming the file rather than a bare ``JSONDecodeError``.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint archive {path} does not exist")
     state = load_state_dict(path)
     model.load_state_dict(state)
     meta_path = path.with_suffix(path.suffix + _META_SUFFIX)
     metadata: Dict[str, Any] = {}
-    if meta_path.exists():
+    if not meta_path.exists():
+        if require_metadata:
+            raise FileNotFoundError(
+                f"checkpoint metadata sidecar {meta_path} is missing; the weights "
+                f"in {path.name} were loaded from an archive not written by "
+                "save_checkpoint (pass require_metadata=False to accept bare "
+                "weight archives)"
+            )
+        return model, metadata
+    try:
         metadata = json.loads(meta_path.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"checkpoint metadata sidecar {meta_path} is not valid JSON "
+            f"(corrupt or truncated): {error}"
+        ) from error
     return model, metadata

@@ -91,6 +91,38 @@ class RngStreams:
         elif name in self._streams:
             del self._streams[name]
 
+    def state_dict(self) -> Dict[str, object]:
+        """Bit-generator states of every materialised stream (JSON-compatible).
+
+        The per-stream state is whatever :attr:`numpy.random.BitGenerator.state`
+        reports — plain dictionaries of (big) integers for PCG64 — so the dict
+        round-trips exactly through JSON.
+        """
+        return {
+            "seed": self._seed,
+            "streams": {
+                name: self._streams[name].bit_generator.state
+                for name in sorted(self._streams)
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore stream states *in place*.
+
+        Components hold direct references to the :class:`numpy.random.Generator`
+        objects handed out by :meth:`get`, so restoration mutates the existing
+        generators' bit-generator state rather than replacing the objects —
+        every aliased holder (reservoir, scheduler, breed controller, …)
+        continues from the restored state.
+        """
+        if int(state["seed"]) != self._seed:
+            raise ValueError(
+                f"RngStreams state was saved with root seed {state['seed']}, "
+                f"this registry uses {self._seed}"
+            )
+        for name, generator_state in state["streams"].items():  # type: ignore[union-attr]
+            self.get(name).bit_generator.state = generator_state
+
     def spawn(self, name: str) -> "RngStreams":
         """Create a child registry whose root seed derives from ``name``.
 

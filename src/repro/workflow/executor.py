@@ -113,15 +113,32 @@ class RunSpec:
     two separate (instead of serializing the merged configuration) preserves
     the study metadata keys (``_factor``/``_value``/``_name``) that result
     tables group by.
+
+    ``checkpoint_dir``/``checkpoint_every`` enable *mid-run* session
+    snapshots for this spec (see :mod:`repro.checkpoint`).  They live on the
+    spec — not in the overrides — because they are workflow plumbing, not
+    part of the run's identity: the configuration fingerprint ignores them,
+    and the checkpointed ``RunResult.config`` stays free of host paths.
     """
 
     name: str
     config: Dict[str, Any] = field(default_factory=dict)
     overrides: Dict[str, Any] = field(default_factory=dict)
+    #: per-run session-snapshot directory (None → no mid-run checkpointing)
+    checkpoint_dir: Optional[str] = None
+    #: session-snapshot period in training batches
+    checkpoint_every: int = 0
 
     def build_config(self) -> OnlineTrainingConfig:
         """Rebuild the effective run configuration (base ∘ overrides)."""
-        return apply_overrides(OnlineTrainingConfig.from_dict(self.config), self.overrides)
+        config = apply_overrides(OnlineTrainingConfig.from_dict(self.config), self.overrides)
+        if self.checkpoint_dir is not None and self.checkpoint_every > 0:
+            config = replace(
+                config,
+                checkpoint_dir=str(self.checkpoint_dir),
+                checkpoint_every=int(self.checkpoint_every),
+            )
+        return config
 
 
 def config_digest(config: OnlineTrainingConfig) -> str:
@@ -130,11 +147,11 @@ def config_digest(config: OnlineTrainingConfig) -> str:
     Stamped onto each :class:`RunResult` so checkpoint/resume can detect that
     a record was produced by a different configuration — run names omit the
     base config entirely, and the override dict only covers the varied keys.
+    Delegates to :meth:`OnlineTrainingConfig.digest`, which excludes the
+    checkpoint-plumbing fields, so a run fingerprints identically whether or
+    not it snapshots itself.
     """
-    import hashlib
-
-    payload = json.dumps(config.to_dict(), sort_keys=True, default=str)
-    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+    return config.digest()
 
 
 # ---------------------------------------------------------------------------
@@ -202,7 +219,16 @@ def execute_spec(
     solver, validation = (cache if cache is not None else StudyInputCache()).inputs(config)
     timer = Timer(name=spec.name)
     with timer.span():
-        result = run_online_training(config, solver=solver, validation_set=validation)
+        if config.checkpoint_dir:
+            # Fault-tolerant path: re-enter a partially completed run from its
+            # latest session snapshot instead of restarting it, and keep
+            # snapshotting while it runs (session.run attaches the policy).
+            from repro.checkpoint import resume_or_start
+
+            session = resume_or_start(config, solver=solver, validation_set=validation)
+            result = session.run()
+        else:
+            result = run_online_training(config, solver=solver, validation_set=validation)
     record = RunResult(
         name=spec.name,
         config=dict(spec.overrides),

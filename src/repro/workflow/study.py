@@ -19,7 +19,8 @@ already completed.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+import re
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
@@ -120,6 +121,42 @@ class StudyRunner:
         ]
 
     @staticmethod
+    def _snapshot_root(
+        checkpoint: Optional[Union[str, Path]],
+        resume: Optional[Union[str, Path]],
+        snapshot_dir: Optional[Union[str, Path]],
+    ) -> Path:
+        """Directory holding the per-run session snapshots of a study.
+
+        Defaults to a ``<checkpoint>.snapshots/`` sibling of the study's JSONL
+        checkpoint so ``run_all(cfgs, resume=path, checkpoint_every=N)`` with
+        the same ``path`` finds both the completed-run records *and* the
+        mid-run snapshots of the interrupted ones.
+        """
+        if snapshot_dir is not None:
+            return Path(snapshot_dir)
+        anchor = checkpoint if checkpoint is not None else resume
+        if anchor is None:
+            raise ValueError(
+                "checkpoint_every needs somewhere to put session snapshots: "
+                "pass snapshot_dir=, or a checkpoint=/resume= JSONL path to "
+                "derive the default <checkpoint>.snapshots/ directory from"
+            )
+        anchor = Path(anchor)
+        return anchor.parent / f"{anchor.name}.snapshots"
+
+    @staticmethod
+    def _run_snapshot_dir(root: Path, index: int, name: str) -> Path:
+        """Stable, filesystem-safe snapshot directory of one run.
+
+        The configuration-index prefix keeps directories unique even when two
+        run names sanitise to the same string; it is stable across
+        invocations because specs are derived deterministically from the
+        configuration list.
+        """
+        return root / f"{index:04d}-{re.sub(r'[^A-Za-z0-9._=+-]+', '_', name)}"
+
+    @staticmethod
     def _record_matches_spec(record: RunResult, spec: RunSpec) -> bool:
         """Whether a checkpointed record still describes ``spec``'s run.
 
@@ -156,6 +193,8 @@ class StudyRunner:
         name_key: Optional[str] = None,
         checkpoint: Optional[Union[str, Path]] = None,
         resume: Optional[Union[str, Path]] = None,
+        checkpoint_every: Optional[int] = None,
+        snapshot_dir: Optional[Union[str, Path]] = None,
     ) -> StudyResults:
         """Run every configuration of a study and collect the results.
 
@@ -178,11 +217,31 @@ class StudyRunner:
             ``run_all(cfgs, resume=path)`` with the same ``path`` every
             time; when both are given and differ, the spliced records are
             copied into ``checkpoint`` so it stands alone.
+        checkpoint_every:
+            Optional *mid-run* snapshot period in training batches.  Each run
+            then snapshots its full session state every N batches into a
+            per-run directory under ``snapshot_dir`` (default:
+            ``<checkpoint>.snapshots/``), and a resumed study re-enters
+            partially completed runs from their latest snapshot — bit-
+            identically — instead of restarting them from scratch.
+        snapshot_dir:
+            Root directory of the per-run session snapshots (only meaningful
+            with ``checkpoint_every``).
 
         Results are ordered by configuration index regardless of the order
         runs complete in.
         """
         specs = self.build_specs(configurations, name_key)
+        if checkpoint_every is not None and checkpoint_every > 0:
+            root = self._snapshot_root(checkpoint, resume, snapshot_dir)
+            specs = [
+                replace(
+                    spec,
+                    checkpoint_dir=str(self._run_snapshot_dir(root, index, spec.name)),
+                    checkpoint_every=int(checkpoint_every),
+                )
+                for index, spec in enumerate(specs)
+            ]
         completed: Dict[str, RunResult] = {}
         if resume is not None:
             completed = JsonlCheckpoint(resume).load()

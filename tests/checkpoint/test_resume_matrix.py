@@ -1,0 +1,156 @@
+"""The headline guarantee: kill-and-resume is *bit-identical*.
+
+A run interrupted at an arbitrary tick and restored from its snapshot must
+reproduce the uninterrupted run's metrics and series bit-for-bit, across
+workloads (heat2d / heat1d / analytic) and steering samplers (breed /
+random).  Wall-clock quantities (steering seconds) are measurement, not
+state, and are the only exclusion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.session import OnlineTrainingResult, TrainingSession
+from repro.checkpoint import CheckpointPolicy, restore_session, resume_or_start, save_session
+
+
+def _drive_to_completion(session: TrainingSession) -> OnlineTrainingResult:
+    while session.n_ticks < session.config.max_ticks:
+        if not session.tick():
+            break
+    return session.result()
+
+
+def assert_bit_identical(resumed: OnlineTrainingResult, reference: OnlineTrainingResult) -> None:
+    assert resumed.history.train_losses == reference.history.train_losses
+    assert resumed.history.train_iterations == reference.history.train_iterations
+    assert resumed.history.validation_losses == reference.history.validation_losses
+    assert resumed.history.validation_iterations == reference.history.validation_iterations
+    np.testing.assert_array_equal(resumed.executed_parameters, reference.executed_parameters)
+    assert resumed.parameter_sources == reference.parameter_sources
+    assert resumed.n_ticks == reference.n_ticks
+    assert resumed.method == reference.method
+    assert resumed.workload == reference.workload
+    assert resumed.transport_bytes == reference.transport_bytes
+    assert resumed.transport_dropped == reference.transport_dropped
+    assert resumed.launcher_summary == reference.launcher_summary
+    assert resumed.reservoir_summary == reference.reservoir_summary
+    assert [
+        (r.iteration, r.resampling_index, r.simulation_ids, r.sources, r.n_requested, r.n_applied)
+        for r in resumed.steering_records
+    ] == [
+        (r.iteration, r.resampling_index, r.simulation_ids, r.sources, r.n_requested, r.n_applied)
+        for r in reference.steering_records
+    ]
+    # model weights: the final surrogate must be the same network
+    for key, value in reference.model.state_dict().items():
+        np.testing.assert_array_equal(resumed.model.state_dict()[key], value)
+
+
+@pytest.mark.parametrize("workload", ["heat2d", "heat1d", "analytic"])
+@pytest.mark.parametrize("method", ["breed", "random"])
+def test_kill_and_resume_matrix(workload, method, make_config, tmp_path):
+    config = make_config(workload=workload, method=method, seed=7)
+    reference = TrainingSession(config).run()
+
+    killed = TrainingSession(config)
+    for _ in range(9):  # die mid-run, well past the watermark
+        killed.tick()
+    snapshot = save_session(killed, tmp_path)
+    del killed
+
+    resumed_session = restore_session(snapshot)
+    resumed = _drive_to_completion(resumed_session)
+    assert_bit_identical(resumed, reference)
+
+
+@pytest.mark.parametrize("kill_tick", [1, 5, 14])
+def test_arbitrary_kill_points(kill_tick, make_config, tmp_path):
+    config = make_config(workload="heat2d", method="breed", seed=3)
+    reference = TrainingSession(config).run()
+
+    killed = TrainingSession(config)
+    for _ in range(kill_tick):
+        if not killed.tick():
+            break
+    snapshot = save_session(killed, tmp_path)
+    resumed = _drive_to_completion(restore_session(snapshot))
+    assert_bit_identical(resumed, reference)
+
+
+def test_double_interruption(make_config, tmp_path):
+    """Two successive crashes: snapshot → resume → snapshot → resume."""
+    config = make_config(seed=11)
+    reference = TrainingSession(config).run()
+
+    first = TrainingSession(config)
+    for _ in range(4):
+        first.tick()
+    resumed_once = restore_session(save_session(first, tmp_path / "a"))
+    for _ in range(5):
+        resumed_once.tick()
+    resumed_twice = restore_session(save_session(resumed_once, tmp_path / "b"))
+    assert_bit_identical(_drive_to_completion(resumed_twice), reference)
+
+
+def test_policy_driven_crash_resume(make_config, tmp_path):
+    """End-to-end through the periodic policy and ``resume_or_start``."""
+    config = make_config(seed=13, checkpoint_dir=str(tmp_path), checkpoint_every=8)
+    reference = TrainingSession(make_config(seed=13)).run()
+
+    class SimulatedCrash(RuntimeError):
+        pass
+
+    session = TrainingSession(config)
+    policy = CheckpointPolicy(directory=tmp_path, every_n_batches=8).attach(session)
+
+    def crash(s: TrainingSession) -> None:
+        if s.server.iteration >= 30:
+            raise SimulatedCrash
+
+    session.on_tick.append(crash)
+    with pytest.raises(SimulatedCrash):
+        session.run()
+    assert policy.n_saved >= 1
+    del session
+
+    resumed_session = resume_or_start(config)
+    assert 0 < resumed_session.server.iteration < config.max_iterations
+    resumed = _drive_to_completion(resumed_session)
+    assert_bit_identical(resumed, reference)
+
+
+def test_restore_at_final_tick_adds_no_extra_tick(make_config, tmp_path):
+    """A snapshot taken at the run's terminal tick resumes to the same end."""
+    config = make_config(seed=19)
+    reference = TrainingSession(config).run()
+
+    finished = TrainingSession(config)
+    while finished.tick():
+        pass
+    assert finished.n_ticks == reference.n_ticks
+    snapshot = save_session(finished, tmp_path)
+    resumed_session = restore_session(snapshot)
+    resumed = resumed_session.run()  # must terminate without another tick
+    assert_bit_identical(resumed, reference)
+
+
+def test_sample_statistics_survive_resume(make_config, tmp_path):
+    """record_sample_statistics=True (the Fig. 6 payload) also resumes exactly."""
+    config = make_config(seed=17, record_sample_statistics=True)
+    reference = TrainingSession(config).run()
+
+    killed = TrainingSession(config)
+    for _ in range(7):
+        killed.tick()
+    resumed = _drive_to_completion(restore_session(save_session(killed, tmp_path)))
+    assert_bit_identical(resumed, reference)
+    assert [
+        (s.iteration, s.simulation_id, s.timestep, s.sample_loss, s.uniform, s.batch_loss, s.deviation)
+        for s in resumed.history.sample_statistics
+    ] == [
+        (s.iteration, s.simulation_id, s.timestep, s.sample_loss, s.uniform, s.batch_loss, s.deviation)
+        for s in reference.history.sample_statistics
+    ]

@@ -1,0 +1,264 @@
+"""The ``SessionSnapshot`` on-disk format: encoding, atomicity, retention."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.session import TrainingSession
+from repro.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointPolicy,
+    SnapshotError,
+    SnapshotMismatchError,
+    decode_state,
+    encode_state,
+    latest_snapshot,
+    list_snapshots,
+    load_manifest,
+    restore_session,
+    resume_or_start,
+    save_session,
+)
+
+
+class TestStateEncoding:
+    def test_roundtrip_scalars_arrays_and_nesting(self):
+        state = {
+            "n": 3,
+            "pi": 3.14159,
+            "flag": True,
+            "nothing": None,
+            "name": "run",
+            "vector": np.arange(5, dtype=np.float64),
+            "nested": {"ints": np.arange(4, dtype=np.int64), "items": [1, "two", None]},
+            "list_of_arrays": [np.ones(2), np.zeros((2, 3))],
+        }
+        encoded, arrays = encode_state(state)
+        # the encoded tree must survive a JSON round trip
+        encoded = json.loads(json.dumps(encoded))
+        decoded = decode_state(encoded, arrays)
+        assert decoded["n"] == 3 and decoded["pi"] == 3.14159
+        assert decoded["flag"] is True and decoded["nothing"] is None
+        np.testing.assert_array_equal(decoded["vector"], state["vector"])
+        np.testing.assert_array_equal(decoded["nested"]["ints"], state["nested"]["ints"])
+        np.testing.assert_array_equal(decoded["list_of_arrays"][1], np.zeros((2, 3)))
+
+    def test_numpy_scalars_become_python_scalars(self):
+        encoded, _ = encode_state({"a": np.int64(7), "b": np.float64(0.5), "c": np.bool_(True)})
+        assert encoded == {"a": 7, "b": 0.5, "c": True}
+        assert type(encoded["a"]) is int and type(encoded["b"]) is float
+
+    def test_unsupported_type_names_the_path(self):
+        with pytest.raises(TypeError, match=r"\$\.outer\.bad"):
+            encode_state({"outer": {"bad": object()}})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TypeError, match="keys must be strings"):
+            encode_state({"outer": {3: "x"}})
+
+    def test_reserved_sentinel_key_rejected(self):
+        with pytest.raises(TypeError, match="__ndarray__"):
+            encode_state({"__ndarray__": "nope"})
+
+    def test_float_bits_survive_json(self):
+        value = float(np.nextafter(0.1, 1.0))
+        encoded, _ = encode_state({"x": value})
+        assert json.loads(json.dumps(encoded))["x"] == value
+
+
+class TestSnapshotDirectory:
+    def _session(self, make_config, **kw) -> TrainingSession:
+        session = TrainingSession(make_config(**kw))
+        for _ in range(6):
+            session.tick()
+        return session
+
+    def test_save_creates_manifest_and_arrays(self, make_config, tmp_path):
+        session = self._session(make_config)
+        path = save_session(session, tmp_path)
+        assert path.name == f"step-{session.n_ticks:08d}"
+        manifest = load_manifest(path)
+        assert manifest["schema"] == SCHEMA_VERSION
+        assert manifest["fingerprint"] == session.config.digest()
+        assert manifest["n_ticks"] == session.n_ticks
+        assert manifest["iteration"] == session.server.iteration
+        assert (path / "arrays.npz").exists()
+
+    def test_latest_pointer_and_scan_fallback(self, make_config, tmp_path):
+        session = self._session(make_config)
+        first = save_session(session, tmp_path)
+        session.tick()
+        second = save_session(session, tmp_path)
+        assert latest_snapshot(tmp_path) == second
+        (tmp_path / "latest.json").write_text("not json{")
+        assert latest_snapshot(tmp_path) == second  # fallback: directory scan
+        assert list_snapshots(tmp_path) == [first, second]
+
+    def test_retention_prunes_oldest(self, make_config, tmp_path):
+        session = self._session(make_config)
+        for _ in range(4):
+            session.tick()
+            save_session(session, tmp_path, keep=2)
+        snapshots = list_snapshots(tmp_path)
+        assert len(snapshots) == 2
+        assert latest_snapshot(tmp_path) == snapshots[-1]
+
+    def test_save_is_idempotent_per_tick(self, make_config, tmp_path):
+        session = self._session(make_config)
+        first = save_session(session, tmp_path)
+        again = save_session(session, tmp_path)
+        assert first == again
+        assert len(list_snapshots(tmp_path)) == 1
+
+    def test_save_replaces_foreign_snapshot_at_same_tick(self, make_config, tmp_path):
+        # Stale directory reuse: a leftover step-N dir from a *different*
+        # configuration must be replaced, not trusted — otherwise the latest
+        # pointer would advertise our fingerprint over a foreign snapshot and
+        # every later restore would fail the mismatch check.
+        stale = self._session(make_config, seed=1)
+        save_session(stale, tmp_path)
+        current = self._session(make_config, seed=2)
+        assert current.n_ticks == stale.n_ticks  # same step name
+        path = save_session(current, tmp_path)
+        assert load_manifest(path)["fingerprint"] == current.config.digest()
+        restored = restore_session(path, config=current.config)
+        assert restored.n_ticks == current.n_ticks
+
+    def test_prune_removes_stale_latest_tmp_files(self, make_config, tmp_path):
+        session = self._session(make_config)
+        save_session(session, tmp_path)
+        orphan = tmp_path / "latest.json.tmp-99999"  # a crashed writer's leftover
+        orphan.write_text("{}")
+        session.tick()
+        save_session(session, tmp_path, keep=2)
+        assert not orphan.exists()
+        assert (tmp_path / "latest.json").exists()
+
+    def test_no_tmp_dirs_left_behind(self, make_config, tmp_path):
+        session = self._session(make_config)
+        save_session(session, tmp_path, keep=1)
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_incomplete_snapshot_is_invisible(self, make_config, tmp_path):
+        session = self._session(make_config)
+        save_session(session, tmp_path)
+        # Simulate a torn write: a step dir without a manifest.
+        torn = tmp_path / "step-99999999"
+        torn.mkdir()
+        assert latest_snapshot(tmp_path).name != "step-99999999"
+
+    def test_missing_directory_has_no_snapshot(self, tmp_path):
+        assert latest_snapshot(tmp_path / "absent") is None
+        assert list_snapshots(tmp_path / "absent") == []
+
+
+class TestRestore:
+    def test_restore_requires_matching_fingerprint(self, make_config, tmp_path):
+        session = TrainingSession(make_config(seed=1))
+        for _ in range(4):
+            session.tick()
+        path = save_session(session, tmp_path)
+        with pytest.raises(SnapshotMismatchError):
+            restore_session(path, config=make_config(seed=2))
+
+    def test_restore_uses_embedded_config_when_unspecified(self, make_config, tmp_path):
+        config = make_config(seed=9, workload="analytic")
+        session = TrainingSession(config)
+        for _ in range(4):
+            session.tick()
+        path = save_session(session, tmp_path)
+        restored = restore_session(path)
+        assert restored.config == config
+        assert restored.n_ticks == session.n_ticks
+
+    def test_restore_rejects_unknown_schema(self, make_config, tmp_path):
+        session = TrainingSession(make_config())
+        session.tick()
+        path = save_session(session, tmp_path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["schema"] = SCHEMA_VERSION + 1
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="schema version"):
+            restore_session(path)
+
+    def test_restore_missing_arrays_rejected(self, make_config, tmp_path):
+        session = TrainingSession(make_config())
+        session.tick()
+        path = save_session(session, tmp_path)
+        (path / "arrays.npz").unlink()
+        with pytest.raises(SnapshotError, match="arrays.npz"):
+            restore_session(path)
+
+
+class TestResumeOrStart:
+    def test_starts_fresh_without_snapshots(self, make_config, tmp_path):
+        config = make_config(checkpoint_dir=str(tmp_path / "empty"))
+        session = resume_or_start(config)
+        assert session.n_ticks == 0
+
+    def test_resumes_latest_matching_snapshot(self, make_config, tmp_path):
+        config = make_config(checkpoint_dir=str(tmp_path))
+        session = TrainingSession(config)
+        for _ in range(5):
+            session.tick()
+        save_session(session, tmp_path)
+        resumed = resume_or_start(config)
+        assert resumed.n_ticks == 5
+
+    def test_mismatching_snapshot_starts_fresh(self, make_config, tmp_path, caplog):
+        stale = TrainingSession(make_config(seed=1, checkpoint_dir=str(tmp_path)))
+        stale.tick()
+        save_session(stale, tmp_path)
+        config = make_config(seed=2, checkpoint_dir=str(tmp_path))
+        with caplog.at_level("WARNING", logger="repro.checkpoint"):
+            session = resume_or_start(config)
+        assert session.n_ticks == 0
+        assert "different configuration" in caplog.text
+
+
+class TestPolicy:
+    def test_policy_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(directory=tmp_path)  # no period at all
+        with pytest.raises(ValueError):
+            CheckpointPolicy(directory=tmp_path, every_n_batches=5, keep=0)
+
+    def test_policy_snapshots_on_batch_period(self, make_config, tmp_path):
+        session = TrainingSession(make_config())
+        policy = CheckpointPolicy(directory=tmp_path, every_n_batches=10).attach(session)
+        session.run()
+        assert policy.n_saved >= 2
+        assert latest_snapshot(tmp_path) == policy.last_path
+        assert len(list_snapshots(tmp_path)) <= policy.keep
+
+    def test_tick_period_fires_before_watermark(self, make_config, tmp_path):
+        # A pure-tick policy snapshots during the data-production phase even
+        # when no training batch has run yet.
+        session = TrainingSession(make_config(reservoir_watermark=120))
+        policy = CheckpointPolicy(directory=tmp_path, every_n_ticks=2).attach(session)
+        for _ in range(5):
+            session.tick()
+        assert session.server.iteration == 0
+        assert policy.n_saved >= 2
+
+    def test_attached_policy_does_not_resave_restored_state(self, make_config, tmp_path):
+        config = make_config(checkpoint_dir=str(tmp_path), checkpoint_every=10)
+        session = TrainingSession(config)
+        for _ in range(8):
+            session.tick()
+        save_session(session, tmp_path)
+        restored = resume_or_start(config)
+        policy = CheckpointPolicy(directory=tmp_path, every_n_batches=10).attach(restored)
+        assert not policy.should_save(restored)
+
+    def test_session_run_attaches_policy_from_config(self, make_config, tmp_path):
+        config = make_config(
+            checkpoint_dir=str(tmp_path / "auto"), checkpoint_every=10, checkpoint_keep=2
+        )
+        TrainingSession(config).run()
+        snapshots = list_snapshots(tmp_path / "auto")
+        assert 1 <= len(snapshots) <= 2

@@ -1,0 +1,327 @@
+"""Component-level ``state_dict``/``load_state_dict`` round-trips.
+
+Every stateful component of the training loop must restore to a state that
+*behaves* bit-identically — the assertions therefore compare behaviour after
+the round-trip (next random draw, next batch, next scheduler tick), not just
+stored attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.breed.acquisition import LossDeviationTracker, SampleLossObservation
+from repro.breed.controller import BreedController
+from repro.breed.samplers import BreedSampler, RandomSampler
+from repro.melissa.client import ClientFactory
+from repro.melissa.reservoir import Reservoir
+from repro.melissa.scheduler import BatchScheduler, JobState
+from repro.melissa.transport import InProcessTransport
+from repro.melissa.messages import TimeStepMessage
+from repro.sampling.bounds import HEAT2D_BOUNDS
+from repro.utils.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_roundtrip_continues_identically(self):
+        streams = RngStreams(seed=42)
+        a = streams.get("alpha")
+        b = streams.get("beta")
+        a.random(10), b.random(3)  # advance both
+        state = streams.state_dict()
+        expected = (a.random(5).tolist(), b.random(5).tolist())
+
+        fresh = RngStreams(seed=42)
+        fresh.get("alpha").random(99)  # arbitrary position before restore
+        fresh.load_state_dict(state)
+        restored = (fresh.get("alpha").random(5).tolist(), fresh.get("beta").random(5).tolist())
+        assert restored == expected
+
+    def test_restore_is_in_place_for_aliased_holders(self):
+        streams = RngStreams(seed=1)
+        generator = streams.get("shared")  # e.g. held by the reservoir
+        state = streams.state_dict()
+        expected = generator.random(4).tolist()
+        generator.random(100)  # drift away
+        streams.load_state_dict(state)
+        # The *same object* must continue from the restored state.
+        assert generator.random(4).tolist() == expected
+
+    def test_seed_mismatch_rejected(self):
+        state = RngStreams(seed=1).state_dict()
+        with pytest.raises(ValueError, match="root seed"):
+            RngStreams(seed=2).load_state_dict(state)
+
+    def test_state_is_json_compatible(self):
+        import json
+
+        streams = RngStreams(seed=3)
+        streams.get("x").random(7)
+        state = json.loads(json.dumps(streams.state_dict()))
+        fresh = RngStreams(seed=3)
+        fresh.load_state_dict(state)
+        assert fresh.get("x").random() == streams.get("x").random()
+
+
+class TestReservoir:
+    def _filled(self, seed: int = 0) -> Reservoir:
+        rng = np.random.default_rng(seed)
+        reservoir = Reservoir(capacity=20, watermark=5, rng=rng)
+        for i in range(30):
+            reservoir.put(i % 7, i, rng.random(4), rng.random(9))
+            if i % 3 == 0 and reservoir.ready_for_training:
+                reservoir.sample_batch(4)
+        return reservoir
+
+    def test_roundtrip_preserves_content_and_behaviour(self):
+        source = self._filled()
+        state = source.state_dict()
+        # Behaviour reference: next batches drawn from the source.
+        rng_state = source._rng.bit_generator.state
+        expected = [source.sample_batch(6).simulation_ids.tolist() for _ in range(3)]
+
+        rng = np.random.default_rng(0)
+        target = Reservoir(capacity=20, watermark=5, rng=rng)
+        rng.bit_generator.state = rng_state
+        target.load_state_dict(state)
+        assert len(target) == int(state["n_entries"])
+        assert target.n_received == source.n_received
+        assert target.n_rejected == source.n_rejected
+        assert target.n_evicted == source.n_evicted
+        got = [target.sample_batch(6).simulation_ids.tolist() for _ in range(3)]
+        assert got == expected
+
+    def test_geometry_mismatch_rejected(self):
+        state = self._filled().state_dict()
+        other = Reservoir(capacity=10, watermark=5, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="geometry"):
+            other.load_state_dict(state)
+
+    def test_empty_reservoir_roundtrip(self):
+        empty = Reservoir(capacity=8, watermark=2, rng=np.random.default_rng(0))
+        target = Reservoir(capacity=8, watermark=2, rng=np.random.default_rng(1))
+        target.load_state_dict(empty.state_dict())
+        assert len(target) == 0 and not target.ready_for_training
+
+
+class TestScheduler:
+    def test_roundtrip_preserves_jobs_and_tick(self):
+        rng = np.random.default_rng(7)
+        scheduler = BatchScheduler(job_limit=3, rng=rng, max_start_delay=2)
+        for job_id in range(5):
+            scheduler.submit(job_id)
+        scheduler.advance()
+        started = scheduler.jobs_in_state(JobState.RUNNING)
+        if started:
+            scheduler.complete(started[0])
+        state = scheduler.state_dict()
+        rng_state = rng.bit_generator.state
+        summary_at_save = scheduler.summary()
+        expected = [scheduler.advance() for _ in range(3)]
+
+        rng2 = np.random.default_rng(7)
+        restored = BatchScheduler(job_limit=3, rng=rng2, max_start_delay=2)
+        rng2.bit_generator.state = rng_state
+        restored.load_state_dict(state)
+        assert restored.tick_count == int(state["tick"])
+        assert restored.summary() == summary_at_save
+        assert [restored.advance() for _ in range(3)] == expected
+
+    def test_job_limit_mismatch_rejected(self):
+        scheduler = BatchScheduler(job_limit=3, rng=np.random.default_rng(0))
+        other = BatchScheduler(job_limit=4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="job_limit"):
+            other.load_state_dict(scheduler.state_dict())
+
+
+class TestClient:
+    def test_fast_forward_resumes_mid_trajectory(self, tiny_solver):
+        factory = ClientFactory(solver=tiny_solver)
+        params = np.array([150.0, 200.0, 250.0, 300.0, 350.0])
+        original = factory.create(0, params)
+        first = original.produce(3)
+        state = original.state_dict()
+        expected = [m.payload.tolist() for m in original.produce(2)]
+
+        resumed = factory.create(0, params)
+        resumed.load_state_dict(state)
+        assert resumed.n_produced == 3
+        got = resumed.produce(2)
+        assert [m.timestep for m in got] == [3, 4]
+        assert [m.payload.tolist() for m in got] == expected
+        assert first[0].timestep == 0
+
+    def test_finished_client_stays_finished(self, tiny_solver):
+        factory = ClientFactory(solver=tiny_solver)
+        params = np.array([150.0, 200.0, 250.0, 300.0, 350.0])
+        client = factory.create(1, params)
+        while not client.finished:
+            client.produce(10)
+        resumed = factory.create(1, params)
+        resumed.load_state_dict(client.state_dict())
+        assert resumed.finished
+        assert resumed.produce(5) == []
+
+    def test_simulation_id_mismatch_rejected(self, tiny_solver):
+        factory = ClientFactory(solver=tiny_solver)
+        params = np.array([150.0, 200.0, 250.0, 300.0, 350.0])
+        state = factory.create(1, params).state_dict()
+        with pytest.raises(ValueError, match="simulation 1"):
+            factory.create(2, params).load_state_dict(state)
+
+
+class TestTracker:
+    def _observed(self) -> LossDeviationTracker:
+        tracker = LossDeviationTracker()
+        rng = np.random.default_rng(0)
+        for sim_id in range(6):
+            tracker.register_parameters(sim_id, rng.random(5))
+        for iteration in range(1, 8):
+            for sim_id in (iteration % 6, (iteration + 2) % 6):
+                tracker.observe(
+                    SampleLossObservation(
+                        simulation_id=sim_id,
+                        timestep=iteration % 3,
+                        iteration=iteration,
+                        sample_loss=float(rng.random()),
+                        batch_mean=0.4,
+                        batch_std=0.2,
+                    )
+                )
+        return tracker
+
+    def test_roundtrip_preserves_window_and_q_values(self):
+        source = self._observed()
+        target = LossDeviationTracker()
+        target.load_state_dict(source.state_dict())
+        assert target.n_observations == source.n_observations
+        assert target.all_q_values() == source.all_q_values()
+        src_locations, src_q, src_ids = source.window(4)
+        dst_locations, dst_q, dst_ids = target.window(4)
+        assert src_ids == dst_ids
+        np.testing.assert_array_equal(src_locations, dst_locations)
+        np.testing.assert_array_equal(src_q, dst_q)
+
+    def test_per_timestep_order_preserved(self):
+        # q_value averages per-timestep means in insertion order; the restore
+        # must keep that order for bit-identical floating-point sums.
+        source = self._observed()
+        target = LossDeviationTracker()
+        target.load_state_dict(source.state_dict())
+        for sid, record in source._records.items():
+            assert list(target._records[sid].per_timestep) == list(record.per_timestep)
+
+
+class TestSamplers:
+    def test_random_sampler_state_is_empty(self):
+        sampler = RandomSampler(HEAT2D_BOUNDS)
+        assert sampler.state_dict() == {}
+        sampler.load_state_dict({})  # no-op
+
+    def test_breed_sampler_roundtrip_same_next_decision(self):
+        rng = np.random.default_rng(3)
+        source = BreedSampler(HEAT2D_BOUNDS)
+        params = source.initial_parameters(12, rng)
+        for iteration in range(1, 5):
+            source.observe_batch(
+                iteration, [0, 1, 2], [0, 1, 2], [0.5, 0.9, 0.1], parameters=params[:3]
+            )
+        state = source.state_dict()
+        rng_state = rng.bit_generator.state
+        expected = source.resample(4, iteration=10, rng=rng)
+
+        target = BreedSampler(HEAT2D_BOUNDS)
+        target.load_state_dict(state)
+        rng2 = np.random.default_rng(3)
+        rng2.bit_generator.state = rng_state
+        got = target.resample(4, iteration=10, rng=rng2)
+        np.testing.assert_array_equal(got.parameters, expected.parameters)
+        assert got.sources == expected.sources
+        assert got.resampling_index == expected.resampling_index
+
+    def test_breed_decisions_survive_roundtrip(self):
+        rng = np.random.default_rng(3)
+        source = BreedSampler(HEAT2D_BOUNDS)
+        params = source.initial_parameters(8, rng)
+        source.observe_batch(1, [0], [0], [0.7], parameters=params[:1])
+        source.resample(2, iteration=5, rng=rng)
+        target = BreedSampler(HEAT2D_BOUNDS)
+        target.load_state_dict(source.state_dict())
+        assert len(target.decisions) == 1
+        np.testing.assert_array_equal(target.decisions[0].parameters, source.decisions[0].parameters)
+        assert target.resampling_count == source.resampling_count
+
+
+class TestTriggers:
+    def test_adaptive_trigger_state_roundtrip(self):
+        from repro.breed.adaptive import AdaptiveTrigger
+
+        source = AdaptiveTrigger(min_interval=10, max_interval=50, ess_fraction=0.4)
+        q = np.array([0.2, 0.9, 0.4])
+        source.should_fire(20, q)
+        source.notify_fired(20)
+        target = AdaptiveTrigger(min_interval=10, max_interval=50, ess_fraction=0.4)
+        target.load_state_dict(source.state_dict())
+        assert target._last_fired == 20
+        assert target.history == source.history
+        # the cool-down anchor governs behaviour: within min_interval → no fire
+        assert not target.should_fire(25, q)
+        # past max_interval since the restored firing → always fires
+        assert target.should_fire(71, q)
+
+    def test_breed_sampler_carries_trigger_state(self):
+        from repro.breed.adaptive import AdaptiveTrigger
+
+        rng = np.random.default_rng(5)
+        source = BreedSampler(
+            HEAT2D_BOUNDS, trigger=AdaptiveTrigger(min_interval=5, max_interval=30)
+        )
+        params = source.initial_parameters(8, rng)
+        source.observe_batch(1, [0, 1], [0, 0], [0.3, 0.8], parameters=params[:2])
+        assert source.should_resample(31)  # max_interval elapsed
+        source.resample(2, iteration=31, rng=rng)
+        source.trigger.notify_fired(31)
+
+        target = BreedSampler(
+            HEAT2D_BOUNDS, trigger=AdaptiveTrigger(min_interval=5, max_interval=30)
+        )
+        target.load_state_dict(source.state_dict())
+        assert target.trigger._last_fired == 31
+        # without the restored anchor this would fire (31+30 elapsed from 0)
+        assert not target.should_resample(33)
+
+    def test_periodic_trigger_state_roundtrip(self):
+        from repro.breed.adaptive import PeriodicTrigger
+
+        source = PeriodicTrigger(period=10)
+        source.notify_fired(30)
+        target = PeriodicTrigger(period=10)
+        target.load_state_dict(source.state_dict())
+        assert target._last_fired == 30
+
+
+class TestControllerAndTransport:
+    def test_controller_records_roundtrip(self):
+        rng = np.random.default_rng(0)
+        source = BreedController(sampler=RandomSampler(HEAT2D_BOUNDS), rng=rng)
+        source.steering_timer.total = 1.25
+        source.steering_timer.count = 3
+        state = source.state_dict()
+        target = BreedController(
+            sampler=RandomSampler(HEAT2D_BOUNDS), rng=np.random.default_rng(0)
+        )
+        target.load_state_dict(state)
+        assert target.total_steering_seconds == 1.25
+        assert target.records == []
+
+    def test_transport_stats_roundtrip(self):
+        transport = InProcessTransport()
+        message = TimeStepMessage(simulation_id=1, parameters=np.ones(5), timestep=0, payload=np.ones(16))
+        for _ in range(7):
+            transport.account(message)
+        target = InProcessTransport()
+        target.load_state_dict(transport.state_dict())
+        assert target.total_bytes() == transport.total_bytes()
+        assert target.total_messages() == 7
+        assert target.total_dropped() == 0

@@ -43,11 +43,46 @@ class TestCheckpoints:
         assert metadata["note"] == "test"
         assert metadata["num_parameters"] == model.num_parameters()
 
-    def test_missing_metadata_is_empty(self, tmp_path, rng):
+    def test_missing_metadata_raises_naming_the_sidecar(self, tmp_path, rng):
         model = nn.Linear(2, 2, rng=rng)
         path = save_state_dict(tmp_path / "bare", model.state_dict())
-        _, metadata = load_checkpoint(path, model)
+        with pytest.raises(FileNotFoundError, match=r"bare\.npz\.meta\.json"):
+            load_checkpoint(path, model)
+
+    def test_missing_metadata_tolerated_when_not_required(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        path = save_state_dict(tmp_path / "bare", model.state_dict())
+        _, metadata = load_checkpoint(path, model, require_metadata=False)
         assert metadata == {}
+
+    def test_corrupt_metadata_raises_naming_the_file(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        path = save_checkpoint(tmp_path / "model", model)
+        sidecar = path.with_suffix(path.suffix + ".meta.json")
+        sidecar.write_text("{ truncated")
+        with pytest.raises(ValueError, match=r"model\.npz\.meta\.json"):
+            load_checkpoint(path, model)
+
+    def test_missing_archive_raises(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        with pytest.raises(FileNotFoundError, match=r"nothing\.npz"):
+            load_checkpoint(tmp_path / "nothing", model)
+
+    def test_atomic_save_leaves_no_tmp_files(self, tmp_path, rng):
+        model = nn.Linear(2, 2, rng=rng)
+        save_state_dict(tmp_path / "w", model.state_dict())
+        save_checkpoint(tmp_path / "model", model)
+        leftovers = [p.name for p in tmp_path.iterdir() if ".tmp-" in p.name]
+        assert leftovers == []
+
+    def test_compressed_save_roundtrips_and_is_smaller(self, tmp_path, rng):
+        state = {"w": np.zeros((256, 256)), "b": rng.normal(size=64)}
+        plain = save_state_dict(tmp_path / "plain", state)
+        packed = save_state_dict(tmp_path / "packed", state, compressed=True)
+        restored = load_state_dict(packed)
+        for key, value in state.items():
+            np.testing.assert_array_equal(restored[key], value)
+        assert packed.stat().st_size < plain.stat().st_size
 
 
 class TestInitialisers:

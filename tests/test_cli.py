@@ -25,6 +25,14 @@ class TestParser:
             parser.parse_args(["fig3b", "--backend", "serial", "--jobs", "4"])
         ) == ("serial", 4)
 
+    def test_checkpoint_flags_default_off(self):
+        args = build_parser().parse_args(["fig3a"])
+        assert args.checkpoint_every is None
+        assert args.restore is False
+        args = build_parser().parse_args(["fig3a", "--checkpoint-every", "50", "--restore"])
+        assert args.checkpoint_every == 50
+        assert args.restore is True
+
     def test_list_exits_zero(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
@@ -69,6 +77,48 @@ class TestCliRuns:
         first = checkpoint.read_text()
         # Re-invoke with --resume: nothing new is executed or appended.
         assert main(args + ["--resume", str(checkpoint)]) == 0
+        assert checkpoint.read_text() == first
+
+    def test_checkpoint_every_writes_session_snapshots(self, tmp_path, capsys):
+        args = [
+            "fig3b", "--scale", "smoke", "--factor", "sigma",
+            "--out", str(tmp_path), "--checkpoint-every", "30",
+        ]
+        assert main(args) == 0
+        snapshot_root = tmp_path / "fig3b_smoke.runs.jsonl.snapshots"
+        run_dirs = sorted(p for p in snapshot_root.iterdir() if p.is_dir())
+        assert len(run_dirs) == 2  # one snapshot dir per run
+        assert all(any(d.glob("step-*/manifest.json")) for d in run_dirs)
+
+    def test_fresh_invocation_clears_stale_snapshots(self, tmp_path, capsys):
+        # A deliberately fresh invocation (no --restore) must not silently
+        # resume runs mid-way from the previous invocation's session
+        # snapshots — the snapshot dir is cleared along with the JSONL.
+        args = [
+            "fig3b", "--scale", "smoke", "--factor", "sigma",
+            "--out", str(tmp_path), "--checkpoint-every", "30",
+        ]
+        assert main(args) == 0
+        snapshot_root = tmp_path / "fig3b_smoke.runs.jsonl.snapshots"
+        sentinel = snapshot_root / "0000-stale-marker"
+        sentinel.mkdir()
+        assert main(args) == 0  # fresh: stale snapshot tree is removed first
+        assert not sentinel.exists()
+        # while --restore keeps the snapshots in place
+        assert main(args + ["--restore"]) == 0
+        assert snapshot_root.is_dir()
+
+    def test_restore_resumes_default_checkpoint(self, tmp_path, capsys):
+        args = [
+            "fig3b", "--scale", "smoke", "--factor", "sigma",
+            "--out", str(tmp_path), "--checkpoint-every", "30",
+        ]
+        assert main(args) == 0
+        checkpoint = tmp_path / "fig3b_smoke.runs.jsonl"
+        first = checkpoint.read_text()
+        # --restore implies --resume on the default checkpoint path: the
+        # completed runs are spliced in, nothing is re-executed or appended.
+        assert main(args + ["--restore"]) == 0
         assert checkpoint.read_text() == first
 
     def test_fig3b_unknown_factor_rejected(self, tmp_path):
