@@ -1,0 +1,99 @@
+"""Multi-physics workload benches.
+
+Beyond the paper: times one full trajectory of each new solver family
+(advection–diffusion, viscous Burgers, Fisher–KPP), validates the transport
+schemes against their closed-form references, and reproduces the
+cross-workload Breed-vs-Random study at the chosen ``--repro-scale``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.solvers.advection import AdvectionDiffusion1DConfig, AdvectionDiffusion1DSolver
+from repro.solvers.burgers import Burgers1DConfig, Burgers1DSolver
+from repro.solvers.reaction_diffusion import FisherKPPConfig, FisherKPPSolver
+
+
+@pytest.mark.benchmark(group="workloads")
+@pytest.mark.parametrize(
+    "name,solver,params",
+    [
+        ("advection1d", AdvectionDiffusion1DSolver(AdvectionDiffusion1DConfig()), [1.5, 0.3, 0.05]),
+        ("burgers", Burgers1DSolver(Burgers1DConfig()), [1.0, 0.2, 0.3]),
+        ("fisher", FisherKPPSolver(FisherKPPConfig()), [6.0, 0.8, 0.5]),
+    ],
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_multiphysics_trajectory(benchmark, name, solver, params):
+    trajectory = benchmark(lambda: solver.solve(params))
+    fields = trajectory.as_array()
+    emit(
+        f"Workload bench — {name}, {solver.field_size} points, {solver.n_timesteps} steps",
+        format_table(
+            ["metric", "value"],
+            [
+                ("field size", f"{solver.field_size}"),
+                ("field range", f"[{fields.min():.3f}, {fields.max():.3f}]"),
+            ],
+        ),
+    )
+    assert fields.shape == (solver.n_timesteps + 1, solver.field_size)
+
+
+@pytest.mark.benchmark(group="workloads", min_rounds=1, max_time=1.0, warmup=False)
+def test_transport_schemes_vs_analytic(benchmark):
+    """Upwind transport vs the exact advected Gaussian / Cole–Hopf wave."""
+
+    def errors():
+        adv = AdvectionDiffusion1DSolver(AdvectionDiffusion1DConfig(n_points=64, n_timesteps=50))
+        *_, adv_last = adv.steps([1.5, 0.3, 0.05])
+        adv_exact = adv.exact([1.5, 0.3, 0.05], 50 * adv.config.dt)
+        bur = Burgers1DSolver(Burgers1DConfig(n_points=64, n_timesteps=50))
+        *_, bur_last = bur.steps([1.0, 0.2, 0.3])
+        bur_exact = bur.exact([1.0, 0.2, 0.3], 50 * bur.config.dt)
+        rel = lambda a, b: float(np.linalg.norm(a - b) / np.linalg.norm(b))  # noqa: E731
+        return rel(adv_last, adv_exact), rel(bur_last, bur_exact)
+
+    adv_err, bur_err = benchmark.pedantic(errors, rounds=1, iterations=1)
+    emit(
+        "Transport validation — relative L2 error vs closed form (64 points)",
+        format_table(
+            ["scheme", "rel. L2 error"],
+            [
+                ("advection1d vs advected Gaussian", f"{adv_err:.4f}"),
+                ("burgers vs Cole-Hopf wave", f"{bur_err:.4f}"),
+            ],
+        ),
+    )
+    assert adv_err < 0.25
+    assert bur_err < 0.05
+
+
+@pytest.mark.benchmark(group="workloads", min_rounds=1, max_time=60.0, warmup=False)
+def test_cross_workload_study(benchmark, repro_scale, repro_jobs):
+    """The cross-workload Breed-vs-Random study on the three new families."""
+    from repro.experiments.cross_workload import run_cross_workload
+
+    backend = "process" if repro_jobs > 1 else "serial"
+    result = benchmark.pedantic(
+        lambda: run_cross_workload(
+            scale=repro_scale,
+            workloads=["advection1d", "burgers", "fisher"],
+            backend=backend,
+            max_workers=repro_jobs if repro_jobs > 1 else None,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"Cross-workload study — Breed vs Random ({repro_scale} scale, backend={backend})",
+        format_table(
+            ["workload", "method", "validation MSE"],
+            [(w, m, f"{val:.5f}") for w, m, _, val, _ in result.summary_rows()],
+        ),
+    )
+    assert len(result.study.runs) == 6

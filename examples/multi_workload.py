@@ -6,8 +6,8 @@ per-sample losses and a parameter box, never the PDE.  This example exercises
 that decoupling end to end:
 
 1. run the *same* on-line training configuration against every registered
-   workload (``heat2d``, ``heat1d``, ``analytic``) just by switching the
-   ``workload`` registry key,
+   workload (the heat family plus the multi-physics family — advection,
+   Burgers, Fisher–KPP) just by switching the ``workload`` registry key,
 2. watch progress through ``TrainingSession`` hooks instead of patching the
    training loop,
 3. drive a small Breed-vs-Random study on the cheap ``heat1d`` workload with

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Documentation checks: intra-repo markdown links + doctested examples.
+
+Two failure modes documentation rots through:
+
+1. relative links pointing at files that moved or never existed,
+2. fenced code examples that drifted from the real API.
+
+This script guards both: it scans every tracked ``*.md`` file for relative
+links and verifies the targets exist, and runs ``doctest`` over the files in
+:data:`DOCTESTED` (docs whose fenced examples are written as ``>>>``
+sessions).  Exit status is non-zero on any failure, so it doubles as a CI
+step and is also exercised by ``tests/test_docs.py``::
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown files whose fenced ``>>>`` examples must execute as written
+DOCTESTED = ("docs/WORKLOADS.md",)
+
+#: scaffolding files quoting material from *other* repositories verbatim —
+#: their links describe those repos, not this one
+LINK_CHECK_EXCLUDED = ("PAPERS.md", "SNIPPETS.md", "PAPER.md", "ISSUE.md")
+
+#: inline markdown links ``[text](target)`` (images share the syntax)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: link schemes that are not filesystem paths
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files() -> List[Path]:
+    """Every markdown file in the repository (skipping caches/venvs)."""
+    paths = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        relative = path.relative_to(REPO_ROOT)
+        if any(part.startswith(".") or part == "__pycache__" for part in relative.parts[:-1]):
+            continue
+        if str(relative) in LINK_CHECK_EXCLUDED:
+            continue
+        paths.append(path)
+    return paths
+
+
+def check_links(paths: List[Path]) -> List[Tuple[Path, str]]:
+    """Relative links whose target file/directory does not exist."""
+    broken: List[Tuple[Path, str]] = []
+    for path in paths:
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(_EXTERNAL):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append((path, target))
+    return broken
+
+
+def run_doctests() -> List[Tuple[Path, str]]:
+    """Doctest failures of the :data:`DOCTESTED` documentation files."""
+    failures: List[Tuple[Path, str]] = []
+    for name in DOCTESTED:
+        path = REPO_ROOT / name
+        if not path.exists():
+            failures.append((path, "file is missing"))
+            continue
+        result = doctest.testfile(str(path), module_relative=False, verbose=False)
+        if result.failed:
+            failures.append((path, f"{result.failed}/{result.attempted} examples failed"))
+    return failures
+
+
+def main() -> int:
+    paths = markdown_files()
+    print(f"checking {len(paths)} markdown files for broken relative links")
+    broken = check_links(paths)
+    for path, target in broken:
+        print(f"BROKEN LINK  {path.relative_to(REPO_ROOT)}: ({target})", file=sys.stderr)
+
+    print(f"doctesting {len(DOCTESTED)} documentation files")
+    failed = run_doctests()
+    for path, message in failed:
+        print(f"DOCTEST FAIL {path.relative_to(REPO_ROOT)}: {message}", file=sys.stderr)
+
+    if broken or failed:
+        return 1
+    print("docs ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,7 +4,8 @@ This package is the composable surface over the Melissa/Breed machinery:
 
 * :class:`~repro.api.workloads.Workload` — one simulation scenario (solver +
   parameter bounds + scalers + surrogate geometry); built-ins: ``"heat2d"``
-  (the paper's case), ``"heat1d"`` and ``"analytic"``.
+  (the paper's case), ``"heat1d"``, ``"analytic"``, ``"advection1d"``,
+  ``"advection2d"``, ``"burgers"`` and ``"fisher"``.
 * :class:`~repro.api.config.OnlineTrainingConfig` — a fully serialisable run
   description (:meth:`to_dict` / :meth:`from_dict`) referencing workloads,
   steering methods and activations by registry name.
@@ -38,7 +39,11 @@ from repro.api.registry import (
     workload_names,
 )
 from repro.api.workloads import (
+    AdvectionDiffusion1DWorkload,
+    AdvectionDiffusion2DWorkload,
     AnalyticWorkload,
+    BurgersWorkload,
+    FisherKPPWorkload,
     Heat1DWorkload,
     Heat2DWorkload,
     Workload,
@@ -56,7 +61,11 @@ __all__ = [
     "register_workload",
     "sampler_names",
     "workload_names",
+    "AdvectionDiffusion1DWorkload",
+    "AdvectionDiffusion2DWorkload",
     "AnalyticWorkload",
+    "BurgersWorkload",
+    "FisherKPPWorkload",
     "Heat1DWorkload",
     "Heat2DWorkload",
     "Workload",

@@ -170,6 +170,7 @@ class OnlineTrainingConfig:
 
     @property
     def surrogate_config(self) -> SurrogateConfig:
+        """MLP architecture matching the configured workload's geometry."""
         workload = self.build_workload()
         return workload.surrogate_config(
             hidden_size=self.hidden_size,

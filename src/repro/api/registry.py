@@ -74,6 +74,7 @@ class Registry:
         return _store(factory)
 
     def get(self, name: str) -> Callable:
+        """The factory registered under ``name`` (``KeyError`` names the options)."""
         key = self._key(name)
         if key not in self._factories:
             raise KeyError(
@@ -82,6 +83,7 @@ class Registry:
         return self._factories[key]
 
     def names(self) -> List[str]:
+        """Sorted (lower-cased) keys of every registered factory."""
         return sorted(self._factories)
 
     def __contains__(self, name: str) -> bool:
@@ -119,6 +121,7 @@ def get_workload(name: str) -> Callable:
 
 
 def workload_names() -> List[str]:
+    """Sorted registry keys of every registered workload (built-ins + user)."""
     return WORKLOADS.names()
 
 
@@ -128,10 +131,12 @@ def register_sampler(name: str, factory: Optional[Callable] = None, *, overwrite
 
 
 def get_sampler(name: str) -> Callable:
+    """Resolve a steering-sampler factory by name (raises ``KeyError`` when unknown)."""
     return SAMPLERS.get(name)
 
 
 def sampler_names() -> List[str]:
+    """Sorted registry keys of every registered steering sampler."""
     return SAMPLERS.names()
 
 
@@ -141,8 +146,10 @@ def register_activation(name: str, factory: Optional[Callable] = None, *, overwr
 
 
 def get_activation(name: str) -> Callable:
+    """Resolve an activation factory by name (raises ``KeyError`` when unknown)."""
     return ACTIVATIONS.get(name)
 
 
 def activation_names() -> List[str]:
+    """Sorted registry keys of every registered NN activation."""
     return ACTIVATIONS.names()

@@ -51,7 +51,7 @@ from repro.melissa.transport import InProcessTransport
 from repro.nn.optim import Adam
 from repro.solvers.base import Solver
 from repro.surrogate.model import DirectSurrogate
-from repro.surrogate.validation import ValidationSet, build_validation_set
+from repro.surrogate.validation import ValidationSet, validation_set_for_workload
 from repro.utils.logging import EventLog
 from repro.utils.rng import RngStreams
 
@@ -86,10 +86,12 @@ class OnlineTrainingResult:
 
     @property
     def final_validation_loss(self) -> float:
+        """Validation MSE at the last evaluation (normalised units)."""
         return self.history.final_validation_loss()
 
     @property
     def final_train_loss(self) -> float:
+        """Training-batch MSE at the last recorded iteration (normalised units)."""
         return self.history.final_train_loss()
 
     @property
@@ -148,12 +150,11 @@ class TrainingSession:
         self.scalers = self.workload.build_scalers()
 
         # --- validation set (fixed, Halton-sequence parameters) -----------
-        if validation_set is None and config.n_validation_trajectories > 0:
-            validation_set = build_validation_set(
+        if validation_set is None:
+            validation_set = validation_set_for_workload(
+                self.workload,
+                config.n_validation_trajectories,
                 solver=self.solver,
-                bounds=self.workload.bounds,
-                scalers=self.scalers,
-                n_trajectories=config.n_validation_trajectories,
             )
         self.validation_set = validation_set
 

@@ -8,18 +8,24 @@ about one simulation scenario:
 * the surrogate input/output dimensions and the a-priori normalisation
   scalers.
 
-Three workloads ship with the reproduction:
+Seven workloads ship with the reproduction, spanning four physics families:
 
 * ``"heat2d"`` — the paper's 2-D heat PDE (implicit backward-Euler solver),
 * ``"heat1d"`` — the cheaper 1-D heat PDE (implicit solver), useful for fast
   scenario studies and CI,
 * ``"analytic"`` — closed-form transient 1-D solutions, a discretisation-free
-  workload whose only error source is the surrogate itself.
+  workload whose only error source is the surrogate itself,
+* ``"advection1d"`` / ``"advection2d"`` — periodic advection–diffusion of a
+  Gaussian pulse (explicit upwind transport, CFL-checked),
+* ``"burgers"`` — the nonlinear viscous Burgers equation (Cole–Hopf
+  travelling-wave initial data),
+* ``"fisher"`` — the Fisher–KPP reaction–diffusion equation.
 
 New workloads are plugged in through
 :func:`repro.api.registry.register_workload`; the factory receives the full
 :class:`~repro.api.config.OnlineTrainingConfig` so it can derive its
-resolution from the shared ``heat``/``workload_options`` knobs.
+resolution from the shared ``heat``/``workload_options`` knobs.  See
+``docs/WORKLOADS.md`` for a step-by-step authoring guide.
 """
 
 from __future__ import annotations
@@ -29,11 +35,27 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict
 
 from repro.api.registry import register_workload
-from repro.sampling.bounds import HEAT1D_BOUNDS, HEAT2D_BOUNDS, ParameterBounds
+from repro.sampling.bounds import (
+    ADVECTION1D_BOUNDS,
+    ADVECTION2D_BOUNDS,
+    BURGERS_BOUNDS,
+    FISHER_BOUNDS,
+    HEAT1D_BOUNDS,
+    HEAT2D_BOUNDS,
+    ParameterBounds,
+)
+from repro.solvers.advection import (
+    AdvectionDiffusion1DConfig,
+    AdvectionDiffusion1DSolver,
+    AdvectionDiffusion2DConfig,
+    AdvectionDiffusion2DSolver,
+)
 from repro.solvers.analytic import Analytic1DConfig, Analytic1DSolver
 from repro.solvers.base import Solver
+from repro.solvers.burgers import Burgers1DConfig, Burgers1DSolver
 from repro.solvers.heat1d import Heat1DConfig, Heat1DImplicitSolver
 from repro.solvers.heat2d import Heat2DConfig, Heat2DImplicitSolver
+from repro.solvers.reaction_diffusion import FisherKPPConfig, FisherKPPSolver
 from repro.surrogate.model import SurrogateConfig
 from repro.surrogate.normalization import SurrogateScalers
 
@@ -45,6 +67,10 @@ __all__ = [
     "Heat2DWorkload",
     "Heat1DWorkload",
     "AnalyticWorkload",
+    "AdvectionDiffusion1DWorkload",
+    "AdvectionDiffusion2DWorkload",
+    "BurgersWorkload",
+    "FisherKPPWorkload",
 ]
 
 
@@ -176,6 +202,129 @@ class AnalyticWorkload(Workload):
         return Analytic1DSolver(self.analytic)
 
 
+@dataclass(frozen=True)
+class AdvectionDiffusion1DWorkload(Workload):
+    """1-D periodic advection–diffusion of a Gaussian pulse."""
+
+    advection: AdvectionDiffusion1DConfig = field(default_factory=AdvectionDiffusion1DConfig)
+    parameter_bounds: ParameterBounds = ADVECTION1D_BOUNDS
+
+    name = "advection1d"
+
+    @property
+    def bounds(self) -> ParameterBounds:
+        return self.parameter_bounds
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.advection.n_timesteps
+
+    @property
+    def output_dim(self) -> int:
+        return self.advection.n_points
+
+    def build_solver(self) -> AdvectionDiffusion1DSolver:
+        return AdvectionDiffusion1DSolver(self.advection)
+
+    def build_scalers(self) -> SurrogateScalers:
+        # Field values live in [0, amplitude] (maximum principle); the other
+        # parameters are geometric and must not pollute the output range.
+        return SurrogateScalers.from_field_range(
+            self.bounds, self.n_timesteps, 0.0, self.bounds.high[0]
+        )
+
+
+@dataclass(frozen=True)
+class AdvectionDiffusion2DWorkload(Workload):
+    """2-D periodic advection–diffusion of a Gaussian blob."""
+
+    advection: AdvectionDiffusion2DConfig = field(default_factory=AdvectionDiffusion2DConfig)
+    parameter_bounds: ParameterBounds = ADVECTION2D_BOUNDS
+
+    name = "advection2d"
+
+    @property
+    def bounds(self) -> ParameterBounds:
+        return self.parameter_bounds
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.advection.n_timesteps
+
+    @property
+    def output_dim(self) -> int:
+        return self.advection.grid_size**2
+
+    def build_solver(self) -> AdvectionDiffusion2DSolver:
+        return AdvectionDiffusion2DSolver(self.advection)
+
+    def build_scalers(self) -> SurrogateScalers:
+        return SurrogateScalers.from_field_range(
+            self.bounds, self.n_timesteps, 0.0, self.bounds.high[0]
+        )
+
+
+@dataclass(frozen=True)
+class BurgersWorkload(Workload):
+    """Viscous Burgers fronts (nonlinear, Cole–Hopf-validated)."""
+
+    burgers: Burgers1DConfig = field(default_factory=Burgers1DConfig)
+    parameter_bounds: ParameterBounds = BURGERS_BOUNDS
+
+    name = "burgers"
+
+    @property
+    def bounds(self) -> ParameterBounds:
+        return self.parameter_bounds
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.burgers.n_timesteps
+
+    @property
+    def output_dim(self) -> int:
+        return self.burgers.n_points
+
+    def build_solver(self) -> Burgers1DSolver:
+        return Burgers1DSolver(self.burgers)
+
+    def build_scalers(self) -> SurrogateScalers:
+        # The viscous maximum principle bounds fields by the far-field
+        # states: [min u_right, max u_left] over the parameter box.
+        return SurrogateScalers.from_field_range(
+            self.bounds, self.n_timesteps, self.bounds.low[1], self.bounds.high[0]
+        )
+
+
+@dataclass(frozen=True)
+class FisherKPPWorkload(Workload):
+    """Fisher–KPP reaction–diffusion fronts."""
+
+    fisher: FisherKPPConfig = field(default_factory=FisherKPPConfig)
+    parameter_bounds: ParameterBounds = FISHER_BOUNDS
+
+    name = "fisher"
+
+    @property
+    def bounds(self) -> ParameterBounds:
+        return self.parameter_bounds
+
+    @property
+    def n_timesteps(self) -> int:
+        return self.fisher.n_timesteps
+
+    @property
+    def output_dim(self) -> int:
+        return self.fisher.n_points
+
+    def build_solver(self) -> FisherKPPSolver:
+        return FisherKPPSolver(self.fisher)
+
+    def build_scalers(self) -> SurrogateScalers:
+        # [0, 1] is the invariant region of the logistic reaction.
+        return SurrogateScalers.from_field_range(self.bounds, self.n_timesteps, 0.0, 1.0)
+
+
 # --------------------------------------------------------------------------
 # Default registrations.  Factories receive the full run configuration; the
 # 1-D workloads derive their resolution from the shared ``heat`` knobs
@@ -188,22 +337,29 @@ def _options(config: "OnlineTrainingConfig", **defaults: Any) -> Dict[str, Any]:
     return merged
 
 
-def _bounds_1d(config: "OnlineTrainingConfig") -> ParameterBounds:
-    """Honour a user-supplied parameter box for the 1-D workloads.
+def _workload_bounds(
+    config: "OnlineTrainingConfig", default: ParameterBounds, description: str
+) -> ParameterBounds:
+    """Honour a user-supplied parameter box for a non-heat2d workload.
 
     The config's ``bounds`` field defaults to the 5-dim heat2d box; when left
-    at that default the canonical :data:`HEAT1D_BOUNDS` is used.  An
-    explicitly customised box must have the workload's 3 dimensions —
-    anything else is a misconfiguration that must not be silently ignored.
+    at that default the workload's canonical box is used.  An explicitly
+    customised box must have the workload's dimensionality — anything else is
+    a misconfiguration that must not be silently ignored.
     """
     if config.bounds == HEAT2D_BOUNDS:
-        return HEAT1D_BOUNDS
-    if config.bounds.dim != 3:
+        return default
+    if config.bounds.dim != default.dim:
         raise ValueError(
-            f"workload {config.workload!r} takes 3 parameters (T0, T_left, T_right); "
+            f"workload {config.workload!r} takes {default.dim} parameters {description}; "
             f"got bounds with dim={config.bounds.dim}"
         )
     return config.bounds
+
+
+def _bounds_1d(config: "OnlineTrainingConfig") -> ParameterBounds:
+    """Parameter box of the 1-D heat workloads (see :func:`_workload_bounds`)."""
+    return _workload_bounds(config, HEAT1D_BOUNDS, "(T0, T_left, T_right)")
 
 
 @register_workload("heat2d")
@@ -235,3 +391,66 @@ def _build_analytic(config: "OnlineTrainingConfig") -> AnalyticWorkload:
         length=config.heat.length,
     )
     return AnalyticWorkload(analytic=Analytic1DConfig(**opts), parameter_bounds=_bounds_1d(config))
+
+
+# The multi-physics factories reuse the shared resolution/budget knobs
+# (``grid_size`` → ``n_points``, ``n_timesteps``) but keep their own ``dt``
+# defaults: the explicit transport schemes have CFL stability limits that the
+# heat workloads' implicit ``dt`` need not satisfy.  Everything remains
+# overridable through ``workload_options`` (e.g. ``{"dt": 0.001}``).
+
+
+@register_workload("advection1d")
+def _build_advection1d(config: "OnlineTrainingConfig") -> AdvectionDiffusion1DWorkload:
+    opts = _options(
+        config,
+        n_points=max(config.heat.grid_size, 4),
+        n_timesteps=config.heat.n_timesteps,
+    )
+    return AdvectionDiffusion1DWorkload(
+        advection=AdvectionDiffusion1DConfig(**opts),
+        parameter_bounds=_workload_bounds(
+            config, ADVECTION1D_BOUNDS, "(amplitude, center, width)"
+        ),
+    )
+
+
+@register_workload("advection2d")
+def _build_advection2d(config: "OnlineTrainingConfig") -> AdvectionDiffusion2DWorkload:
+    opts = _options(
+        config,
+        grid_size=max(config.heat.grid_size, 4),
+        n_timesteps=config.heat.n_timesteps,
+    )
+    return AdvectionDiffusion2DWorkload(
+        advection=AdvectionDiffusion2DConfig(**opts),
+        parameter_bounds=_workload_bounds(
+            config, ADVECTION2D_BOUNDS, "(amplitude, center_x, center_y, width)"
+        ),
+    )
+
+
+@register_workload("burgers")
+def _build_burgers(config: "OnlineTrainingConfig") -> BurgersWorkload:
+    opts = _options(
+        config,
+        n_points=max(config.heat.grid_size, 4),
+        n_timesteps=config.heat.n_timesteps,
+    )
+    return BurgersWorkload(
+        burgers=Burgers1DConfig(**opts),
+        parameter_bounds=_workload_bounds(config, BURGERS_BOUNDS, "(u_left, u_right, x0)"),
+    )
+
+
+@register_workload("fisher")
+def _build_fisher(config: "OnlineTrainingConfig") -> FisherKPPWorkload:
+    opts = _options(
+        config,
+        n_points=max(config.heat.grid_size, 4),
+        n_timesteps=config.heat.n_timesteps,
+    )
+    return FisherKPPWorkload(
+        fisher=FisherKPPConfig(**opts),
+        parameter_bounds=_workload_bounds(config, FISHER_BOUNDS, "(rate, amplitude, center)"),
+    )

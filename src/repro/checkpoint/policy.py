@@ -69,6 +69,7 @@ class CheckpointPolicy:
         return counter // period if period > 0 else 0
 
     def should_save(self, session: "TrainingSession") -> bool:
+        """Whether the session just crossed a batch/tick snapshot period."""
         if self.every_n_batches > 0:
             if self._period_index(session.server.iteration, self.every_n_batches) > self._batch_marker:
                 return True

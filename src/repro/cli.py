@@ -10,9 +10,17 @@ and resume interrupted studies from their JSONL checkpoints::
     python -m repro.cli table1
     repro --list                       # installed console script
 
-Study-shaped experiments (fig3a, fig3b) honour ``--jobs``/``--backend`` and
-checkpoint each run as it finishes; the single/dual-run experiments (fig4,
+Study-shaped experiments (fig3a, fig3b, cross) honour ``--jobs``/``--backend``
+and checkpoint each run as it finishes; the single/dual-run experiments (fig4,
 fig6, overhead) need the full in-process results and always run serially.
+
+``--workload NAME`` points an experiment at any registered workload
+(``heat2d`` by default); the ``cross`` experiment compares Breed vs Random
+across *every* registered workload (or the repeated ``--workload`` flags)::
+
+    python -m repro.cli fig3b --scale smoke --workload burgers
+    python -m repro.cli cross --scale smoke --jobs 4
+    python -m repro.cli cross --workload advection1d --workload fisher
 
 ``--checkpoint-every N`` additionally snapshots every run's *full session
 state* every N training batches (see :mod:`repro.checkpoint`), and
@@ -109,6 +117,21 @@ def _save_summary(args: argparse.Namespace, experiment: str, summary: Dict[str, 
 # ---------------------------------------------------------------------------
 
 
+def _single_workload(args: argparse.Namespace, experiment: str) -> str:
+    """The one workload an experiment runs against (default: ``heat2d``).
+
+    Only ``cross`` accepts several ``--workload`` flags; every other
+    experiment is a single-scenario study.
+    """
+    workloads = args.workload or []
+    if len(workloads) > 1:
+        raise SystemExit(
+            f"{experiment} runs against a single workload; got --workload {workloads} "
+            f"(only 'cross' accepts several)"
+        )
+    return workloads[0] if workloads else "heat2d"
+
+
 def _run_fig3a(args: argparse.Namespace) -> Dict[str, object]:
     from repro.experiments.fig3a import PAPER_HIDDEN_SIZES, PAPER_LAYER_COUNTS, run_fig3a
 
@@ -125,6 +148,7 @@ def _run_fig3a(args: argparse.Namespace) -> Dict[str, object]:
         checkpoint=_checkpoint_path(args, "fig3a"),
         resume=args.resume,
         checkpoint_every=args.checkpoint_every,
+        workload=_single_workload(args, "fig3a"),
     )
     print(format_table(
         ["architecture", "method", "train MSE", "validation MSE", "gap (val-train)"],
@@ -156,6 +180,7 @@ def _run_fig3b(args: argparse.Namespace) -> Dict[str, object]:
         checkpoint=_checkpoint_path(args, "fig3b"),
         resume=args.resume,
         checkpoint_every=args.checkpoint_every,
+        workload=_single_workload(args, "fig3b"),
     )
     print(format_table(
         ["hyper-parameter", "value", "train MSE", "validation MSE", "gap (val-train)"],
@@ -171,7 +196,7 @@ def _run_fig3b(args: argparse.Namespace) -> Dict[str, object]:
 def _run_fig4(args: argparse.Namespace) -> Dict[str, object]:
     from repro.experiments.fig4 import run_fig4
 
-    result = run_fig4(scale=args.scale, seed=args.seed)
+    result = run_fig4(scale=args.scale, seed=args.seed, workload=_single_workload(args, "fig4"))
     summary = result.summary()
     print(format_table(["metric", "value"], [(k, f"{v:.5f}") for k, v in summary.items()]))
     path = _save_summary(args, "fig4", summary)
@@ -181,7 +206,7 @@ def _run_fig4(args: argparse.Namespace) -> Dict[str, object]:
 def _run_fig6(args: argparse.Namespace) -> Dict[str, object]:
     from repro.experiments.fig6 import run_fig6
 
-    result = run_fig6(scale=args.scale, seed=args.seed)
+    result = run_fig6(scale=args.scale, seed=args.seed, workload=_single_workload(args, "fig6"))
     findings = result.key_findings()
     checks = result.checks()
     print(format_table(["correlation", "value"], [(k, f"{v:+.3f}") for k, v in findings.items()]))
@@ -193,12 +218,51 @@ def _run_fig6(args: argparse.Namespace) -> Dict[str, object]:
 def _run_overhead(args: argparse.Namespace) -> Dict[str, object]:
     from repro.experiments.overhead import run_overhead
 
-    result = run_overhead(scale=args.scale, seed=args.seed)
+    result = run_overhead(
+        scale=args.scale, seed=args.seed, workload=_single_workload(args, "overhead")
+    )
     summary = result.summary()
     print(format_table(["metric", "value"], [(k, f"{v:.5f}") for k, v in summary.items()]))
     print(f"overhead negligible: {result.overhead_is_negligible}")
     path = _save_summary(args, "overhead", summary)
     return {"experiment": "overhead", "results": str(path)}
+
+
+def _run_cross(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.api.registry import workload_names
+    from repro.experiments.cross_workload import run_cross_workload
+
+    backend, jobs = _resolve_backend(args)
+    # The registry resolves keys case-insensitively; normalise before
+    # validating so `--workload Burgers` is accepted, not falsely rejected.
+    workloads = [name.lower() for name in args.workload] if args.workload else None
+    if workloads:
+        unknown = sorted(set(workloads) - set(workload_names()))
+        if unknown:
+            raise SystemExit(f"unknown workload(s) {unknown}; options: {workload_names()}")
+    result = run_cross_workload(
+        scale=args.scale,
+        workloads=workloads,
+        seed=args.seed,
+        backend=backend,
+        max_workers=jobs,
+        checkpoint=_checkpoint_path(args, "cross"),
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
+    )
+    print(format_table(
+        ["workload", "method", "train MSE", "validation MSE", "gap (val-train)"],
+        [
+            (workload, method, f"{train:.5f}", f"{val:.5f}", f"{gap:+.5f}")
+            for workload, method, train, val, gap in result.summary_rows()
+        ],
+    ))
+    print(format_table(
+        ["workload", "breed improvement"],
+        [(w, f"{imp:+.1%}") for w, imp in result.improvement_rows()],
+    ))
+    path = _save_study(args, "cross", result.study)
+    return {"experiment": "cross", "runs": len(result.study.runs), "results": str(path)}
 
 
 def _run_table1(args: argparse.Namespace) -> Dict[str, object]:
@@ -214,6 +278,9 @@ def _run_table1(args: argparse.Namespace) -> Dict[str, object]:
 EXPERIMENTS: Dict[str, Experiment] = {
     "fig3a": Experiment("fig3a", "architecture study, Breed vs Random", _run_fig3a, parallel=True),
     "fig3b": Experiment("fig3b", "Breed hyper-parameter study", _run_fig3b, parallel=True),
+    "cross": Experiment(
+        "cross", "Breed vs Random across every registered workload", _run_cross, parallel=True
+    ),
     "fig4": Experiment("fig4", "input-parameter deviation histograms", _run_fig4),
     "fig6": Experiment("fig6", "training-statistics correlation matrix", _run_fig6),
     "overhead": Experiment("overhead", "steering-overhead measurement", _run_overhead),
@@ -251,6 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "runs are spliced from the JSONL checkpoint (implies --resume on the "
                              "default checkpoint path); combine with --checkpoint-every to also "
                              "re-enter partially completed runs from their session snapshots")
+    parser.add_argument("--workload", action="append", default=None, metavar="NAME",
+                        help="workload registry key the experiment runs against (default: "
+                             "heat2d); repeatable for 'cross', which defaults to every "
+                             "registered workload")
     parser.add_argument("--factor", action="append", default=None, metavar="NAME",
                         help="fig3b: restrict to this hyper-parameter (repeatable)")
     parser.add_argument("--hidden", action="append", type=int, default=None, metavar="H",

@@ -10,6 +10,10 @@ Module         Paper artefact
 ``fig6``       Figure 6  — training-statistics correlation matrix
 ``overhead``   Section 6 claim — steering overhead vs training time
 =============  =======================================================
+
+``cross_workload`` goes beyond the paper: it re-runs the Breed-vs-Random
+comparison on every registered workload (heat, advection–diffusion, Burgers,
+Fisher–KPP) to test that the steering loop is workload-agnostic.
 """
 
 from repro.experiments.base import (
@@ -27,6 +31,11 @@ from repro.experiments.fig3b import (
     Fig3bResult,
     fig3b_configurations,
     run_fig3b,
+)
+from repro.experiments.cross_workload import (
+    CrossWorkloadResult,
+    cross_workload_configurations,
+    run_cross_workload,
 )
 from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.fig6 import Fig6Result, run_fig6
@@ -49,6 +58,9 @@ __all__ = [
     "Fig3bResult",
     "fig3b_configurations",
     "run_fig3b",
+    "CrossWorkloadResult",
+    "cross_workload_configurations",
+    "run_cross_workload",
     "Fig4Result",
     "run_fig4",
     "Fig6Result",

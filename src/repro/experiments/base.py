@@ -27,7 +27,7 @@ from repro.breed.samplers import BreedConfig
 from repro.melissa.run import OnlineTrainingConfig
 from repro.solvers.base import Solver
 from repro.solvers.heat2d import Heat2DConfig
-from repro.surrogate.validation import ValidationSet, build_validation_set
+from repro.surrogate.validation import ValidationSet, validation_set_for_workload
 
 __all__ = [
     "ExperimentScale",
@@ -192,12 +192,7 @@ def shared_study_inputs(
     """
     workload = config.build_workload()
     solver = workload.build_solver()
-    validation: Optional[ValidationSet] = None
-    if config.n_validation_trajectories > 0:
-        validation = build_validation_set(
-            solver=solver,
-            bounds=workload.bounds,
-            scalers=workload.build_scalers(),
-            n_trajectories=config.n_validation_trajectories,
-        )
+    validation = validation_set_for_workload(
+        workload, config.n_validation_trajectories, solver=solver
+    )
     return workload, solver, validation

@@ -122,13 +122,15 @@ def run_fig3a(
     checkpoint: Optional[Union[str, Path]] = None,
     resume: Optional[Union[str, Path]] = None,
     checkpoint_every: Optional[int] = None,
+    workload: str = "heat2d",
 ) -> Fig3aResult:
     """Run the architecture study and return its loss curves.
 
     ``checkpoint_every`` enables mid-run session snapshots: a resumed study
-    re-enters partially completed runs at the batch they were killed at.
+    re-enters partially completed runs at the batch they were killed at;
+    ``workload`` runs the whole grid against another registered scenario.
     """
-    template = base_config(scale, method="breed", seed=seed)
+    template = base_config(scale, method="breed", seed=seed, workload=workload)
     runner = StudyRunner(
         base_config=template, study_name="fig3a", backend=backend, max_workers=max_workers
     )

@@ -58,14 +58,14 @@ class Fig4Result:
         }
 
 
-def run_fig4(scale: str = "smoke", seed: int = 0, n_bins: int = 16) -> Fig4Result:
+def run_fig4(scale: str = "smoke", seed: int = 0, n_bins: int = 16, workload: str = "heat2d") -> Fig4Result:
     """Run one Random and one Breed experiment and build the Figure-4 histograms.
 
     The histograms need the executed parameter vectors of the full
     :class:`OnlineTrainingResult`, so both runs go through the study engine's
     serial backend, which keeps them in-process.
     """
-    breed_config = base_config(scale, method="breed", seed=seed)
+    breed_config = base_config(scale, method="breed", seed=seed, workload=workload)
     runner = StudyRunner(base_config=breed_config, study_name="fig4")
     runner.run_all(
         [{"_name": "breed", "method": "breed"}, {"_name": "random", "method": "random"}],

@@ -48,14 +48,14 @@ class Fig6Result:
         }
 
 
-def run_fig6(scale: str = "smoke", seed: int = 0) -> Fig6Result:
+def run_fig6(scale: str = "smoke", seed: int = 0, workload: str = "heat2d") -> Fig6Result:
     """Run one Breed experiment with statistics recording and build the matrix.
 
     The correlation matrix needs the full per-sample statistics history, so
     the run goes through the study engine's serial backend, which keeps the
     complete :class:`OnlineTrainingResult` in-process.
     """
-    config = base_config(scale, method="breed", seed=seed, record_sample_statistics=True)
+    config = base_config(scale, method="breed", seed=seed, workload=workload, record_sample_statistics=True)
     runner = StudyRunner(base_config=config, study_name="fig6")
     runner.run_all([{"_name": "breed"}], name_key="_name")
     run = runner.full_results["fig6:breed"]

@@ -58,13 +58,13 @@ class OverheadResult:
         )
 
 
-def run_overhead(scale: str = "smoke", seed: int = 0) -> OverheadResult:
+def run_overhead(scale: str = "smoke", seed: int = 0, workload: str = "heat2d") -> OverheadResult:
     """Run matched Random/Breed experiments and record steering overhead.
 
     The wall-clock decomposition needs the full results, so both runs go
     through the study engine's serial backend, which keeps them in-process.
     """
-    breed_config = base_config(scale, method="breed", seed=seed)
+    breed_config = base_config(scale, method="breed", seed=seed, workload=workload)
     runner = StudyRunner(base_config=breed_config, study_name="overhead")
     runner.run_all(
         [{"_name": "breed", "method": "breed"}, {"_name": "random", "method": "random"}],

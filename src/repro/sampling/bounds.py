@@ -12,7 +12,15 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ParameterBounds", "HEAT2D_BOUNDS", "HEAT1D_BOUNDS"]
+__all__ = [
+    "ParameterBounds",
+    "HEAT2D_BOUNDS",
+    "HEAT1D_BOUNDS",
+    "ADVECTION1D_BOUNDS",
+    "ADVECTION2D_BOUNDS",
+    "BURGERS_BOUNDS",
+    "FISHER_BOUNDS",
+]
 
 
 @dataclass(frozen=True)
@@ -119,4 +127,39 @@ HEAT1D_BOUNDS = ParameterBounds(
     low=(100.0,) * 3,
     high=(500.0,) * 3,
     names=("T0", "T_left", "T_right"),
+)
+
+#: Input-parameter space of the 1-D advection–diffusion workload: amplitude,
+#: center and width of the initial Gaussian pulse on the periodic unit
+#: interval.  Fields stay in ``[0, amplitude]`` by the maximum principle.
+ADVECTION1D_BOUNDS = ParameterBounds(
+    low=(0.5, 0.1, 0.03),
+    high=(2.0, 0.9, 0.08),
+    names=("amplitude", "center", "width"),
+)
+
+#: Input-parameter space of the 2-D advection–diffusion workload: amplitude,
+#: blob center and width on the periodic unit square.
+ADVECTION2D_BOUNDS = ParameterBounds(
+    low=(0.5, 0.1, 0.1, 0.04),
+    high=(2.0, 0.9, 0.9, 0.1),
+    names=("amplitude", "center_x", "center_y", "width"),
+)
+
+#: Input-parameter space of the viscous Burgers workload: upstream/downstream
+#: far-field states (``u_left > u_right`` keeps the front compressive) and
+#: the initial front position.  Fields stay in ``[u_right, u_left]``.
+BURGERS_BOUNDS = ParameterBounds(
+    low=(0.8, 0.1, 0.25),
+    high=(1.2, 0.3, 0.4),
+    names=("u_left", "u_right", "x0"),
+)
+
+#: Input-parameter space of the Fisher–KPP workload: logistic reaction rate,
+#: seed amplitude and seed position.  Fields stay in the invariant region
+#: ``[0, 1]``.
+FISHER_BOUNDS = ParameterBounds(
+    low=(2.0, 0.1, 0.3),
+    high=(8.0, 0.9, 0.7),
+    names=("rate", "amplitude", "center"),
 )

@@ -1,5 +1,30 @@
-"""Finite-difference PDE solvers (the "oracle" labelling the training data)."""
+"""PDE solvers (the "oracle" labelling the training data).
 
+Four physics families implement the shared :class:`~repro.solvers.base.Solver`
+protocol:
+
+* heat diffusion — :mod:`~repro.solvers.heat2d`, :mod:`~repro.solvers.heat1d`
+  and the closed-form :mod:`~repro.solvers.analytic`,
+* advection–diffusion — :mod:`~repro.solvers.advection` (1-D and 2-D periodic
+  transport with an exact advected-Gaussian reference),
+* viscous Burgers — :mod:`~repro.solvers.burgers` (nonlinear, with the exact
+  Cole–Hopf travelling wave),
+* reaction–diffusion — :mod:`~repro.solvers.reaction_diffusion` (Fisher–KPP).
+
+All solvers are deterministic pure functions of their parameter vector, which
+is what lets checkpoint restore fast-forward mid-trajectory clients without
+persisting solution fields.
+"""
+
+from repro.solvers.advection import (
+    AdvectionDiffusion1DConfig,
+    AdvectionDiffusion1DSolver,
+    AdvectionDiffusion2DConfig,
+    AdvectionDiffusion2DSolver,
+    advected_gaussian_1d,
+    advected_gaussian_2d,
+    wrapped_gaussian,
+)
 from repro.solvers.analytic import (
     Analytic1DConfig,
     Analytic1DSolver,
@@ -8,6 +33,7 @@ from repro.solvers.analytic import (
     transient_1d,
 )
 from repro.solvers.base import Solver
+from repro.solvers.burgers import Burgers1DConfig, Burgers1DSolver, cole_hopf_wave
 from repro.solvers.grid import Grid1D, Grid2D
 from repro.solvers.heat1d import Heat1DConfig, Heat1DImplicitSolver
 from repro.solvers.heat2d import (
@@ -16,15 +42,26 @@ from repro.solvers.heat2d import (
     Heat2DImplicitSolver,
     apply_dirichlet_boundaries,
 )
+from repro.solvers.reaction_diffusion import FisherKPPConfig, FisherKPPSolver, kpp_front_speed
 from repro.solvers.trajectory import TimeStepSample, Trajectory
 
 __all__ = [
+    "AdvectionDiffusion1DConfig",
+    "AdvectionDiffusion1DSolver",
+    "AdvectionDiffusion2DConfig",
+    "AdvectionDiffusion2DSolver",
+    "advected_gaussian_1d",
+    "advected_gaussian_2d",
+    "wrapped_gaussian",
     "Analytic1DConfig",
     "Analytic1DSolver",
     "laplace_edge_series",
     "steady_state_2d",
     "transient_1d",
     "Solver",
+    "Burgers1DConfig",
+    "Burgers1DSolver",
+    "cole_hopf_wave",
     "Grid1D",
     "Grid2D",
     "Heat1DConfig",
@@ -33,6 +70,9 @@ __all__ = [
     "Heat2DExplicitSolver",
     "Heat2DImplicitSolver",
     "apply_dirichlet_boundaries",
+    "FisherKPPConfig",
+    "FisherKPPSolver",
+    "kpp_front_speed",
     "TimeStepSample",
     "Trajectory",
 ]

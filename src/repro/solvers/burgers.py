@@ -1,0 +1,178 @@
+"""1-D viscous Burgers solver with a Cole–Hopf analytic reference.
+
+The first *nonlinear* workload of the repository::
+
+    du/dt + u * du/dx = nu * d²u/dx²       on [0, L]
+    u(0, t) = u_left,  u(L, t) = u_right   (Dirichlet far-field states)
+    u(x, 0) = c - a * tanh(a (x - x0) / (2 nu))
+
+with ``c = (u_left + u_right) / 2`` and ``a = (u_left - u_right) / 2``.  That
+initial profile is exactly the Cole–Hopf travelling-wave solution of the
+viscous Burgers equation, so the trajectory has a closed form — the front
+translates rigidly with speed ``c`` (:func:`cole_hopf_wave`) — which the
+solver tests use to bound the discretisation error of the nonlinear scheme.
+
+Parameter vector: ``λ = [u_left, u_right, x0]`` with ``u_left > u_right >= 0``
+(a compressive front moving right; the viscous maximum principle then keeps
+``u`` inside ``[u_right, u_left]`` for the whole run).
+
+The scheme is explicit: a conservative upwind flux ``f = u²/2`` (valid for the
+non-negative velocity regime the parameter box enforces) plus a central
+diffusion stencil.  Stability requires
+
+* advection: ``max|u| * dt / dx <= 1`` — depends on ``λ``, so it is checked
+  when the trajectory starts (the maximum principle makes the initial check
+  sufficient),
+* diffusion: ``nu * dt / dx² <= 1/2`` — checked at configuration time.
+
+Violations raise a ``ValueError`` naming the failed CFL condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.solvers.base import Solver
+
+__all__ = ["Burgers1DConfig", "Burgers1DSolver", "cole_hopf_wave"]
+
+
+def cole_hopf_wave(
+    x: np.ndarray,
+    t: float,
+    u_left: float,
+    u_right: float,
+    x0: float,
+    nu: float = 0.01,
+) -> np.ndarray:
+    """Exact Cole–Hopf travelling-wave solution of viscous Burgers.
+
+    ``u(x, t) = c - a tanh(a (x - x0 - c t) / (2 nu))`` with
+    ``c = (u_left + u_right)/2`` and ``a = (u_left - u_right)/2``: the viscous
+    shock profile connecting ``u_left`` (upstream) to ``u_right``
+    (downstream), translating rigidly at the Rankine–Hugoniot speed ``c``.
+    """
+    c = 0.5 * (u_left + u_right)
+    a = 0.5 * (u_left - u_right)
+    xi = np.asarray(x, dtype=np.float64) - x0 - c * t
+    return c - a * np.tanh(a * xi / (2.0 * nu))
+
+
+@dataclass(frozen=True)
+class Burgers1DConfig:
+    """Discretisation configuration of the viscous Burgers problem.
+
+    Attributes
+    ----------
+    n_points:
+        Grid nodes including the two Dirichlet boundary nodes.
+    n_timesteps:
+        Time steps per trajectory (excluding ``t = 0``).
+    dt:
+        Time-step size; the diffusive CFL bound is checked here, the
+        velocity-dependent advective bound when a trajectory starts.
+    nu:
+        Viscosity (sets the front width ``~ 2 nu / a``).
+    length:
+        Domain length.
+    """
+
+    n_points: int = 64
+    n_timesteps: int = 100
+    dt: float = 0.005
+    nu: float = 0.01
+    length: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_points < 4:
+            raise ValueError("n_points must be >= 4")
+        if self.n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        if self.dt <= 0 or self.nu <= 0 or self.length <= 0:
+            raise ValueError("dt, nu and length must be positive")
+        dx = self.length / (self.n_points - 1)
+        diffusive = self.nu * self.dt / dx**2
+        if diffusive > 0.5 + 1e-12:
+            raise ValueError(
+                f"CFL violation (burgers, diffusion): nu*dt/dx^2 = {diffusive:.4f} > 0.5; "
+                f"reduce dt or n_points (workload_options={{'dt': ...}})"
+            )
+
+    @property
+    def dx(self) -> float:
+        return self.length / (self.n_points - 1)
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        return np.linspace(0.0, self.length, self.n_points)
+
+
+class Burgers1DSolver(Solver):
+    """Explicit conservative-upwind solver for the viscous Burgers equation.
+
+    Parameter vector: ``λ = [u_left, u_right, x0]``.  The solver is a pure
+    deterministic function of ``λ`` (checkpoint restore fast-forwards it).
+    """
+
+    def __init__(self, config: Burgers1DConfig | None = None) -> None:
+        self.config = config if config is not None else Burgers1DConfig()
+        self.n_timesteps = self.config.n_timesteps
+        self._x = self.config.coordinates
+
+    @property
+    def field_size(self) -> int:
+        return self.config.n_points
+
+    @property
+    def parameter_dim(self) -> int:
+        return 3
+
+    def _check_parameters(self, parameters: Sequence[float]) -> np.ndarray:
+        params = self.validate_parameters(parameters)
+        u_left, u_right, _ = params
+        if not u_left > u_right:
+            raise ValueError(
+                f"burgers needs a compressive front: u_left > u_right, "
+                f"got u_left={u_left:g}, u_right={u_right:g}"
+            )
+        if u_right < 0:
+            raise ValueError(
+                f"the upwind flux assumes non-negative velocities, got u_right={u_right:g}"
+            )
+        advective = u_left * self.config.dt / self.config.dx
+        if advective > 1.0 + 1e-12:
+            raise ValueError(
+                f"CFL violation (burgers, advection): max|u|*dt/dx = {advective:.4f} > 1; "
+                f"reduce dt or n_points (workload_options={{'dt': ...}})"
+            )
+        return params
+
+    def initial_field(self, parameters: Sequence[float]) -> np.ndarray:
+        u_left, u_right, x0 = self._check_parameters(parameters)
+        return cole_hopf_wave(self._x, 0.0, u_left, u_right, x0, nu=self.config.nu)
+
+    def steps(self, parameters: Sequence[float]) -> Iterator[np.ndarray]:
+        u_left, u_right, x0 = self._check_parameters(parameters)
+        cfg = self.config
+        field = cole_hopf_wave(self._x, 0.0, u_left, u_right, x0, nu=cfg.nu)
+        yield field.copy()
+        dx = cfg.dx
+        dt_dx = cfg.dt / dx
+        diff = cfg.nu * cfg.dt / dx**2
+        for _ in range(self.n_timesteps):
+            flux = 0.5 * field * field
+            # Conservative left-biased (upwind for u >= 0) flux difference on
+            # the interior; Dirichlet nodes stay pinned to the far-field states.
+            divergence = flux[1:-1] - flux[:-2]
+            laplacian = field[2:] - 2.0 * field[1:-1] + field[:-2]
+            interior = field[1:-1] - dt_dx * divergence + diff * laplacian
+            field = np.concatenate(([u_left], interior, [u_right]))
+            yield field.copy()
+
+    def exact(self, parameters: Sequence[float], t: float) -> np.ndarray:
+        """Closed-form Cole–Hopf field at physical time ``t`` (for validation)."""
+        u_left, u_right, x0 = self._check_parameters(parameters)
+        return cole_hopf_wave(self._x, t, u_left, u_right, x0, nu=self.config.nu)

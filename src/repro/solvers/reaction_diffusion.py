@@ -1,0 +1,160 @@
+"""1-D reaction–diffusion (Fisher–KPP) solver.
+
+The third new workload family: diffusion coupled to a logistic reaction::
+
+    du/dt = D * d²u/dx² + r * u * (1 - u)     on [0, L]
+    du/dx = 0 at x = 0, L                     (zero-flux Neumann boundaries)
+    u(x, 0) = A * exp(-(x - x0)² / (2 sigma0²))
+
+Parameter vector: ``λ = [rate, amplitude, center]`` — the reaction rate ``r``,
+the seed amplitude ``A`` and the seed position ``x0`` (``sigma0`` is a
+configuration knob).  For ``A ∈ [0, 1]`` the continuous dynamics stay inside
+the invariant region ``[0, 1]`` and the seeded population grows and spreads as
+the classic KPP front (asymptotic speed ``2 sqrt(r D)``).
+
+The scheme is explicit Euler: a central diffusion stencil with reflected
+ghost nodes for the Neumann condition, plus the pointwise logistic source.  It
+preserves the ``[0, 1]`` invariant region exactly when the *combined* step is
+a sub-convex update,
+
+* ``2 * D * dt / dx² + r * dt <= 1``
+
+(which implies the individual diffusive and reaction limits).  The
+rate-independent part ``D * dt / dx² <= 1/2`` is checked at configuration
+time for early feedback; the full condition — rate is a run parameter — is
+checked when the trajectory starts.  Violations raise a ``ValueError``
+naming the failed stability condition.
+Useful exact limits for validation: ``r = 0`` reduces to pure Neumann
+diffusion (mass is conserved to round-off by the reflected stencil), and the
+uniform states ``u ≡ 0`` / ``u ≡ 1`` are fixed points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.solvers.base import Solver
+
+__all__ = ["FisherKPPConfig", "FisherKPPSolver", "kpp_front_speed"]
+
+
+def kpp_front_speed(rate: float, diffusivity: float) -> float:
+    """Asymptotic KPP front speed ``2 sqrt(r D)`` (for validation heuristics)."""
+    return 2.0 * float(np.sqrt(rate * diffusivity))
+
+
+@dataclass(frozen=True)
+class FisherKPPConfig:
+    """Discretisation configuration of the Fisher–KPP problem.
+
+    Attributes
+    ----------
+    n_points:
+        Grid nodes (Neumann boundaries at both ends).
+    n_timesteps:
+        Time steps per trajectory (excluding ``t = 0``).
+    dt:
+        Time-step size; the diffusive bound is checked here, the
+        rate-dependent reaction bound when a trajectory starts.
+    diffusivity:
+        ``D`` — sets the front width and speed together with the rate.
+    sigma0:
+        Width of the initial Gaussian seed.
+    length:
+        Domain length.
+    """
+
+    n_points: int = 64
+    n_timesteps: int = 100
+    dt: float = 0.01
+    diffusivity: float = 0.002
+    sigma0: float = 0.05
+    length: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_points < 4:
+            raise ValueError("n_points must be >= 4")
+        if self.n_timesteps < 1:
+            raise ValueError("n_timesteps must be >= 1")
+        if self.dt <= 0 or self.diffusivity < 0 or self.length <= 0 or self.sigma0 <= 0:
+            raise ValueError("dt, sigma0 and length must be positive, diffusivity non-negative")
+        dx = self.length / (self.n_points - 1)
+        diffusive = self.diffusivity * self.dt / dx**2
+        if diffusive > 0.5 + 1e-12:
+            raise ValueError(
+                f"CFL violation (fisher, diffusion): D*dt/dx^2 = {diffusive:.4f} > 0.5; "
+                f"reduce dt or n_points (workload_options={{'dt': ...}})"
+            )
+
+    @property
+    def dx(self) -> float:
+        return self.length / (self.n_points - 1)
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        return np.linspace(0.0, self.length, self.n_points)
+
+
+class FisherKPPSolver(Solver):
+    """Explicit Euler solver for the Fisher–KPP equation with Neumann walls.
+
+    Parameter vector: ``λ = [rate, amplitude, center]``.  The solver is a
+    pure deterministic function of ``λ`` (checkpoint restore fast-forwards
+    it); for amplitudes in ``[0, 1]`` every produced field stays in the
+    ``[0, 1]`` invariant region.
+    """
+
+    def __init__(self, config: FisherKPPConfig | None = None) -> None:
+        self.config = config if config is not None else FisherKPPConfig()
+        self.n_timesteps = self.config.n_timesteps
+        self._x = self.config.coordinates
+
+    @property
+    def field_size(self) -> int:
+        return self.config.n_points
+
+    @property
+    def parameter_dim(self) -> int:
+        return 3
+
+    def _check_parameters(self, parameters: Sequence[float]) -> np.ndarray:
+        params = self.validate_parameters(parameters)
+        rate, amplitude, _ = params
+        if rate < 0:
+            raise ValueError(f"reaction rate must be non-negative, got {rate:g}")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError(
+                f"seed amplitude must lie in the invariant region [0, 1], got {amplitude:g}"
+            )
+        # [0, 1]-invariance of the combined explicit step needs
+        # 2*D*dt/dx^2 + r*dt <= 1 (sub-convexity); the two individual limits
+        # alone are NOT sufficient.
+        cfg = self.config
+        combined = 2.0 * cfg.diffusivity * cfg.dt / cfg.dx**2 + rate * cfg.dt
+        if combined > 1.0 + 1e-12:
+            raise ValueError(
+                f"stability violation (fisher, reaction+diffusion): "
+                f"2*D*dt/dx^2 + r*dt = {combined:.4f} > 1 breaks the [0, 1] invariant "
+                f"region; reduce dt (workload_options={{'dt': ...}}) or the rate bound"
+            )
+        return params
+
+    def initial_field(self, parameters: Sequence[float]) -> np.ndarray:
+        _, amplitude, center = self._check_parameters(parameters)
+        return amplitude * np.exp(-0.5 * ((self._x - center) / self.config.sigma0) ** 2)
+
+    def steps(self, parameters: Sequence[float]) -> Iterator[np.ndarray]:
+        rate, amplitude, center = self._check_parameters(parameters)
+        cfg = self.config
+        field = amplitude * np.exp(-0.5 * ((self._x - center) / cfg.sigma0) ** 2)
+        yield field.copy()
+        diff = cfg.diffusivity * cfg.dt / cfg.dx**2
+        for _ in range(self.n_timesteps):
+            # Reflected ghost nodes implement the zero-flux Neumann condition.
+            padded = np.concatenate(([field[1]], field, [field[-2]]))
+            laplacian = padded[2:] - 2.0 * field + padded[:-2]
+            field = field + diff * laplacian + cfg.dt * rate * field * (1.0 - field)
+            yield field.copy()

@@ -116,6 +116,29 @@ class SurrogateScalers:
         )
 
     @classmethod
+    def from_field_range(
+        cls,
+        bounds: ParameterBounds,
+        n_timesteps: int,
+        field_low: float,
+        field_high: float,
+    ) -> "SurrogateScalers":
+        """Build scalers with an *explicit* output range.
+
+        :meth:`from_bounds` assumes the field values share the parameter
+        range (true for the heat workloads, where every parameter is a
+        temperature); workloads whose parameters are geometric — pulse
+        centers, widths, reaction rates — pass their a-priori field range
+        here instead.
+        """
+        input_low = np.concatenate([bounds.low_array, [0.0]])
+        input_high = np.concatenate([bounds.high_array, [float(n_timesteps)]])
+        return cls(
+            input_scaler=MinMaxScaler(input_low, input_high),
+            output_scaler=MinMaxScaler.scalar(float(field_low), float(field_high)),
+        )
+
+    @classmethod
     def for_heat2d(cls, bounds: ParameterBounds, n_timesteps: int) -> "SurrogateScalers":
         """Backward-compatible alias of :meth:`from_bounds`."""
         return cls.from_bounds(bounds, n_timesteps)

@@ -9,7 +9,7 @@ the surrogate over every ``(λ, t)`` pair of that set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -21,7 +21,15 @@ from repro.solvers.base import Solver
 from repro.surrogate.model import DirectSurrogate
 from repro.surrogate.normalization import SurrogateScalers
 
-__all__ = ["ValidationSet", "build_validation_set", "validation_loss"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.api imports us)
+    from repro.api.workloads import Workload
+
+__all__ = [
+    "ValidationSet",
+    "build_validation_set",
+    "validation_set_for_workload",
+    "validation_loss",
+]
 
 
 @dataclass
@@ -70,6 +78,37 @@ def build_validation_set(
         parameters=vectors,
         n_trajectories=n_trajectories,
         n_timesteps=solver.n_timesteps,
+    )
+
+
+def validation_set_for_workload(
+    workload: "Workload",
+    n_trajectories: int,
+    solver: Optional[Solver] = None,
+    skip: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    scramble: bool = False,
+) -> Optional[ValidationSet]:
+    """Fixed validation set of a :class:`~repro.api.workloads.Workload`.
+
+    Convenience wrapper over :func:`build_validation_set` that pulls the
+    solver, parameter bounds and scalers from the workload — the single path
+    the training session, the study-input cache and the experiment harness
+    all use, so every consumer builds the *same* set for a given scenario.
+    Returns ``None`` when ``n_trajectories <= 0`` (validation disabled).
+
+    ``solver`` may be passed to reuse an already-factorised instance.
+    """
+    if n_trajectories <= 0:
+        return None
+    return build_validation_set(
+        solver=solver if solver is not None else workload.build_solver(),
+        bounds=workload.bounds,
+        scalers=workload.build_scalers(),
+        n_trajectories=n_trajectories,
+        skip=skip,
+        rng=rng,
+        scramble=scramble,
     )
 
 

@@ -39,7 +39,7 @@ from repro.api.session import OnlineTrainingResult
 from repro.breed.samplers import BreedConfig
 from repro.melissa.run import run_online_training
 from repro.solvers.base import Solver
-from repro.surrogate.validation import ValidationSet, build_validation_set
+from repro.surrogate.validation import ValidationSet, validation_set_for_workload
 from repro.utils.logging import get_logger
 from repro.utils.timer import Timer
 from repro.workflow.results import RunResult
@@ -194,14 +194,9 @@ class StudyInputCache:
         if key not in self._entries:
             workload = config.build_workload()
             solver = workload.build_solver()
-            validation: Optional[ValidationSet] = None
-            if config.n_validation_trajectories > 0:
-                validation = build_validation_set(
-                    solver=solver,
-                    bounds=workload.bounds,
-                    scalers=workload.build_scalers(),
-                    n_trajectories=config.n_validation_trajectories,
-                )
+            validation = validation_set_for_workload(
+                workload, config.n_validation_trajectories, solver=solver
+            )
             self._entries[key] = (solver, validation)
         return self._entries[key]
 

@@ -75,14 +75,17 @@ class StudyRunner:
 
     # -------------------------------------------------------------- sharing
     def shared_workload(self) -> Workload:
+        """The base configuration's workload, built once per runner."""
         if self._workload is None:
             self._workload = self.base_config.build_workload()
         return self._workload
 
     def shared_solver(self) -> Solver:
+        """The (pre-factorised) solver shared by every run of the base scenario."""
         return self._cache.inputs(self.base_config)[0]
 
     def shared_validation_set(self) -> Optional[ValidationSet]:
+        """The fixed Halton validation set of the base scenario (``None`` if disabled)."""
         return self._cache.inputs(self.base_config)[1]
 
     # -------------------------------------------------------------- specs

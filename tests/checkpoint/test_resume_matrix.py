@@ -2,9 +2,10 @@
 
 A run interrupted at an arbitrary tick and restored from its snapshot must
 reproduce the uninterrupted run's metrics and series bit-for-bit, across
-workloads (heat2d / heat1d / analytic) and steering samplers (breed /
-random).  Wall-clock quantities (steering seconds) are measurement, not
-state, and are the only exclusion.
+every registered workload — the heat family (heat2d / heat1d / analytic) and
+the multi-physics family (advection1d / advection2d / burgers / fisher) —
+and steering samplers (breed / random).  Wall-clock quantities (steering
+seconds) are measurement, not state, and are the only exclusion.
 """
 
 from __future__ import annotations
@@ -49,7 +50,10 @@ def assert_bit_identical(resumed: OnlineTrainingResult, reference: OnlineTrainin
         np.testing.assert_array_equal(resumed.model.state_dict()[key], value)
 
 
-@pytest.mark.parametrize("workload", ["heat2d", "heat1d", "analytic"])
+@pytest.mark.parametrize(
+    "workload",
+    ["heat2d", "heat1d", "analytic", "advection1d", "advection2d", "burgers", "fisher"],
+)
 @pytest.mark.parametrize("method", ["breed", "random"])
 def test_kill_and_resume_matrix(workload, method, make_config, tmp_path):
     config = make_config(workload=workload, method=method, seed=7)

@@ -1,0 +1,135 @@
+"""Advection–diffusion solvers: analytic error bounds, CFL guards, protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.advection import (
+    AdvectionDiffusion1DConfig,
+    AdvectionDiffusion1DSolver,
+    AdvectionDiffusion2DConfig,
+    AdvectionDiffusion2DSolver,
+    advected_gaussian_1d,
+    wrapped_gaussian,
+)
+
+PARAMS_1D = [1.5, 0.3, 0.05]
+PARAMS_2D = [1.5, 0.3, 0.4, 0.08]
+
+
+def rel_l2(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.linalg.norm(a - b) / np.linalg.norm(b))
+
+
+class TestAnalyticReference:
+    def test_initial_field_matches_reference_at_t0(self):
+        solver = AdvectionDiffusion1DSolver(AdvectionDiffusion1DConfig(n_points=48))
+        initial = solver.initial_field(PARAMS_1D)
+        np.testing.assert_allclose(initial, solver.exact(PARAMS_1D, 0.0), rtol=1e-12)
+
+    def test_pulse_advects_against_gaussian_reference(self):
+        config = AdvectionDiffusion1DConfig(n_points=64, n_timesteps=50, dt=0.004)
+        solver = AdvectionDiffusion1DSolver(config)
+        *_, final = solver.steps(PARAMS_1D)
+        exact = solver.exact(PARAMS_1D, config.n_timesteps * config.dt)
+        # First-order upwind adds numerical diffusion; the bound reflects it.
+        assert rel_l2(final, exact) < 0.2
+        # The peak must have moved with the flow, not stayed put.
+        x = config.coordinates
+        assert abs(x[np.argmax(final)] - (0.3 + config.velocity * 0.2)) < 0.05
+
+    def test_error_decreases_under_refinement(self):
+        errors = []
+        for n, dt, steps in [(32, 0.008, 25), (64, 0.004, 50), (128, 0.002, 100)]:
+            config = AdvectionDiffusion1DConfig(n_points=n, dt=dt, n_timesteps=steps)
+            solver = AdvectionDiffusion1DSolver(config)
+            *_, final = solver.steps(PARAMS_1D)
+            errors.append(rel_l2(final, solver.exact(PARAMS_1D, 0.2)))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 0.6 * errors[0]  # ~first-order convergence
+
+    def test_2d_blob_advects_against_reference(self):
+        config = AdvectionDiffusion2DConfig(grid_size=32, n_timesteps=20, dt=0.005)
+        solver = AdvectionDiffusion2DSolver(config)
+        *_, final = solver.steps(PARAMS_2D)
+        exact = solver.exact(PARAMS_2D, config.n_timesteps * config.dt)
+        assert rel_l2(final, exact) < 0.25
+
+    def test_mass_is_conserved_on_the_periodic_domain(self):
+        solver = AdvectionDiffusion1DSolver(AdvectionDiffusion1DConfig(n_points=48, n_timesteps=40))
+        fields = list(solver.steps(PARAMS_1D))
+        masses = [f.sum() for f in fields]
+        np.testing.assert_allclose(masses, masses[0], rtol=1e-12)
+
+    def test_wrapped_gaussian_is_periodic(self):
+        x = np.linspace(0.0, 1.0, 33)
+        profile = wrapped_gaussian(x - 0.9, 0.1)
+        assert profile[0] == pytest.approx(profile[-1], rel=1e-12)
+
+    def test_reference_conserves_mass_while_decaying_peak(self):
+        x = np.linspace(0.0, 1.0, 200, endpoint=False)
+        early = advected_gaussian_1d(x, 0.0, 1.0, 0.5, 0.05)
+        late = advected_gaussian_1d(x, 0.3, 1.0, 0.5, 0.05)
+        assert late.max() < early.max()
+        assert late.sum() == pytest.approx(early.sum(), rel=1e-6)
+
+
+class TestCflGuards:
+    def test_advective_cfl_violation_raises(self):
+        with pytest.raises(ValueError, match="CFL violation.*advection"):
+            AdvectionDiffusion1DConfig(n_points=64, dt=0.05, velocity=1.0)
+
+    def test_diffusive_cfl_violation_raises(self):
+        with pytest.raises(ValueError, match="CFL violation.*diffusion"):
+            AdvectionDiffusion1DConfig(n_points=256, dt=0.004, nu=0.01, velocity=0.0)
+
+    def test_2d_cfl_violation_raises(self):
+        with pytest.raises(ValueError, match="CFL violation"):
+            AdvectionDiffusion2DConfig(grid_size=64, dt=0.05)
+
+    def test_error_message_points_at_workload_options(self):
+        with pytest.raises(ValueError, match="workload_options"):
+            AdvectionDiffusion1DConfig(n_points=64, dt=0.05)
+
+    def test_valid_config_accepted(self):
+        config = AdvectionDiffusion1DConfig(n_points=64, dt=0.004)
+        assert config.dx == pytest.approx(1.0 / 64)
+
+
+class TestSolverProtocol:
+    def test_field_and_parameter_dims(self):
+        solver = AdvectionDiffusion1DSolver(AdvectionDiffusion1DConfig(n_points=24))
+        assert solver.field_size == 24
+        assert solver.parameter_dim == 3
+        solver2d = AdvectionDiffusion2DSolver(AdvectionDiffusion2DConfig(grid_size=8))
+        assert solver2d.field_size == 64
+        assert solver2d.parameter_dim == 4
+
+    def test_steps_yields_t0_through_T(self):
+        solver = AdvectionDiffusion1DSolver(AdvectionDiffusion1DConfig(n_points=16, n_timesteps=7))
+        fields = list(solver.steps(PARAMS_1D))
+        assert len(fields) == 8
+
+    def test_trajectories_are_deterministic(self):
+        solver = AdvectionDiffusion1DSolver(AdvectionDiffusion1DConfig(n_points=16, n_timesteps=5))
+        a = solver.solve(PARAMS_1D).as_array()
+        b = solver.solve(PARAMS_1D).as_array()
+        np.testing.assert_array_equal(a, b)
+
+    def test_wrong_parameter_count_rejected(self):
+        solver = AdvectionDiffusion1DSolver()
+        with pytest.raises(ValueError, match="expected 3 parameters"):
+            list(solver.steps([1.0, 0.5]))
+
+    def test_non_positive_width_rejected(self):
+        solver = AdvectionDiffusion1DSolver()
+        with pytest.raises(ValueError, match="width"):
+            solver.initial_field([1.0, 0.5, 0.0])
+
+    def test_negative_velocity_uses_downwind_stencil(self):
+        config = AdvectionDiffusion1DConfig(n_points=48, n_timesteps=20, dt=0.004, velocity=-1.0)
+        solver = AdvectionDiffusion1DSolver(config)
+        *_, final = solver.steps(PARAMS_1D)
+        exact = solver.exact(PARAMS_1D, 20 * config.dt)
+        assert rel_l2(final, exact) < 0.2

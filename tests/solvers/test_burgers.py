@@ -1,0 +1,109 @@
+"""Viscous Burgers solver: Cole–Hopf error bounds, CFL guards, protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.burgers import Burgers1DConfig, Burgers1DSolver, cole_hopf_wave
+
+PARAMS = [1.0, 0.2, 0.3]
+
+
+def rel_l2(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.linalg.norm(a - b) / np.linalg.norm(b))
+
+
+class TestColeHopfReference:
+    def test_initial_field_is_the_cole_hopf_profile(self):
+        solver = Burgers1DSolver(Burgers1DConfig(n_points=48))
+        np.testing.assert_allclose(
+            solver.initial_field(PARAMS),
+            cole_hopf_wave(solver.config.coordinates, 0.0, 1.0, 0.2, 0.3, nu=solver.config.nu),
+            rtol=1e-12,
+        )
+
+    def test_front_translates_at_rankine_hugoniot_speed(self):
+        config = Burgers1DConfig(n_points=128, n_timesteps=100, dt=0.00125)
+        solver = Burgers1DSolver(config)
+        *_, final = solver.steps(PARAMS)
+        x = config.coordinates
+        c = 0.5 * (PARAMS[0] + PARAMS[1])
+        midpoint = 0.5 * (PARAMS[0] + PARAMS[1])
+        # front position = where u crosses the mid value
+        front = x[np.argmin(np.abs(final - midpoint))]
+        expected = PARAMS[2] + c * config.n_timesteps * config.dt
+        assert front == pytest.approx(expected, abs=3 * config.dx)
+
+    def test_solution_tracks_cole_hopf_wave(self):
+        config = Burgers1DConfig(n_points=64, n_timesteps=50, dt=0.005)
+        solver = Burgers1DSolver(config)
+        *_, final = solver.steps(PARAMS)
+        exact = solver.exact(PARAMS, config.n_timesteps * config.dt)
+        assert rel_l2(final, exact) < 0.05
+
+    def test_error_decreases_under_refinement(self):
+        errors = []
+        for n, dt, steps in [(32, 0.005, 50), (64, 0.005, 50), (128, 0.00125, 200)]:
+            config = Burgers1DConfig(n_points=n, dt=dt, n_timesteps=steps)
+            solver = Burgers1DSolver(config)
+            *_, final = solver.steps(PARAMS)
+            errors.append(rel_l2(final, solver.exact(PARAMS, 0.25)))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 0.5 * errors[0]
+
+    def test_maximum_principle_holds(self):
+        solver = Burgers1DSolver(Burgers1DConfig(n_points=64, n_timesteps=80))
+        fields = np.stack(list(solver.steps(PARAMS)))
+        assert fields.min() >= PARAMS[1] - 1e-9
+        assert fields.max() <= PARAMS[0] + 1e-9
+
+
+class TestStabilityGuards:
+    def test_diffusive_cfl_violation_raises_at_config_time(self):
+        with pytest.raises(ValueError, match="CFL violation.*diffusion"):
+            Burgers1DConfig(n_points=256, dt=0.005, nu=0.01)
+
+    def test_advective_cfl_violation_raises_when_trajectory_starts(self):
+        config = Burgers1DConfig(n_points=64, dt=0.01, nu=0.001)
+        solver = Burgers1DSolver(config)
+        with pytest.raises(ValueError, match="CFL violation.*advection"):
+            next(solver.steps([2.0, 0.2, 0.3]))
+
+    def test_expansion_front_rejected(self):
+        solver = Burgers1DSolver()
+        with pytest.raises(ValueError, match="compressive"):
+            next(solver.steps([0.2, 1.0, 0.3]))
+
+    def test_negative_downstream_state_rejected(self):
+        solver = Burgers1DSolver()
+        with pytest.raises(ValueError, match="non-negative"):
+            next(solver.steps([1.0, -0.5, 0.3]))
+
+
+class TestSolverProtocol:
+    def test_field_and_parameter_dims(self):
+        solver = Burgers1DSolver(Burgers1DConfig(n_points=40))
+        assert solver.field_size == 40
+        assert solver.parameter_dim == 3
+
+    def test_steps_yields_t0_through_T(self):
+        solver = Burgers1DSolver(Burgers1DConfig(n_points=16, n_timesteps=6))
+        assert len(list(solver.steps(PARAMS))) == 7
+
+    def test_dirichlet_states_stay_pinned(self):
+        solver = Burgers1DSolver(Burgers1DConfig(n_points=32, n_timesteps=30))
+        fields = list(solver.steps(PARAMS))
+        # t = 0 is the tanh profile itself (saturated to ~1e-5 at the walls);
+        # every later step pins the far-field states exactly.
+        assert fields[0][0] == pytest.approx(PARAMS[0], abs=1e-4)
+        assert fields[0][-1] == pytest.approx(PARAMS[1], abs=1e-4)
+        for field in fields[1:]:
+            assert field[0] == PARAMS[0]
+            assert field[-1] == PARAMS[1]
+
+    def test_trajectories_are_deterministic(self):
+        solver = Burgers1DSolver(Burgers1DConfig(n_points=24, n_timesteps=10))
+        a = solver.solve(PARAMS).as_array()
+        b = solver.solve(PARAMS).as_array()
+        np.testing.assert_array_equal(a, b)

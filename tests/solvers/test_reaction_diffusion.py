@@ -1,0 +1,110 @@
+"""Fisher–KPP solver: invariant region, exact limits, stability guards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solvers.reaction_diffusion import FisherKPPConfig, FisherKPPSolver, kpp_front_speed
+
+PARAMS = [6.0, 0.8, 0.5]
+
+
+class TestDynamics:
+    def test_fields_stay_in_invariant_region(self):
+        solver = FisherKPPSolver(FisherKPPConfig(n_points=48, n_timesteps=200))
+        fields = np.stack(list(solver.steps(PARAMS)))
+        assert fields.min() >= 0.0
+        assert fields.max() <= 1.0 + 1e-12
+
+    def test_population_saturates_to_one(self):
+        # Long-time limit: the logistic reaction drives the whole (Neumann)
+        # domain to the stable fixed point u = 1.
+        solver = FisherKPPSolver(FisherKPPConfig(n_points=48, n_timesteps=600))
+        *_, final = solver.steps([8.0, 0.9, 0.5])
+        assert final.min() > 0.99
+
+    def test_zero_rate_reduces_to_mass_conserving_diffusion(self):
+        solver = FisherKPPSolver(FisherKPPConfig(n_points=32, n_timesteps=100))
+        fields = list(solver.steps([0.0, 0.5, 0.5]))
+        assert abs(fields[-1].sum() - fields[0].sum()) < 1e-6
+        # diffusion flattens the seed
+        assert fields[-1].max() < fields[0].max()
+
+    def test_growth_is_monotone_in_the_rate(self):
+        def final_mass(rate: float) -> float:
+            solver = FisherKPPSolver(FisherKPPConfig(n_points=48, n_timesteps=100))
+            *_, final = solver.steps([rate, 0.5, 0.5])
+            return float(final.sum())
+
+        assert final_mass(2.0) < final_mass(4.0) < final_mass(8.0)
+
+    def test_uniform_fixed_points_are_stationary(self):
+        config = FisherKPPConfig(n_points=24, n_timesteps=20, sigma0=1e6)
+        solver = FisherKPPSolver(config)
+        # sigma0 -> inf makes the seed uniform at the amplitude.
+        zero = np.stack(list(solver.steps([5.0, 0.0, 0.5])))
+        np.testing.assert_allclose(zero, 0.0, atol=1e-15)
+        one = np.stack(list(solver.steps([5.0, 1.0, 0.5])))
+        np.testing.assert_allclose(one, 1.0, rtol=1e-9)
+
+    def test_front_spreads_outward(self):
+        config = FisherKPPConfig(n_points=64, n_timesteps=300)
+        solver = FisherKPPSolver(config)
+        fields = list(solver.steps([6.0, 0.9, 0.5]))
+        # the region above 1/2 grows in time (a crude front-speed proxy)
+        width_early = (fields[50] > 0.5).sum()
+        width_late = (fields[-1] > 0.5).sum()
+        assert width_late > width_early
+        assert kpp_front_speed(6.0, config.diffusivity) == pytest.approx(
+            2.0 * np.sqrt(6.0 * config.diffusivity)
+        )
+
+
+class TestStabilityGuards:
+    def test_diffusive_cfl_violation_raises_at_config_time(self):
+        with pytest.raises(ValueError, match="CFL violation.*diffusion"):
+            FisherKPPConfig(n_points=256, dt=0.01, diffusivity=0.002)
+
+    def test_reaction_stability_violation_raises_when_trajectory_starts(self):
+        solver = FisherKPPSolver(FisherKPPConfig(n_points=32, dt=0.2, diffusivity=0.0001))
+        with pytest.raises(ValueError, match="stability violation.*reaction"):
+            next(solver.steps([8.0, 0.5, 0.5]))
+
+    def test_combined_condition_catches_what_individual_limits_miss(self):
+        # dt=0.06 at rate 8: D*dt/dx^2 = 0.476 <= 1/2 and r*dt = 0.48 <= 1
+        # individually, but 2*0.476 + 0.48 > 1 — the combined explicit step
+        # can overshoot u = 1, so it must be rejected.
+        config = FisherKPPConfig(n_points=64, dt=0.06, diffusivity=0.002)
+        solver = FisherKPPSolver(config)
+        assert config.diffusivity * config.dt / config.dx**2 <= 0.5
+        assert 8.0 * config.dt <= 1.0
+        with pytest.raises(ValueError, match=r"2\*D\*dt/dx\^2 \+ r\*dt"):
+            next(solver.steps([8.0, 0.5, 0.5]))
+
+    def test_amplitude_outside_invariant_region_rejected(self):
+        solver = FisherKPPSolver()
+        with pytest.raises(ValueError, match="invariant region"):
+            next(solver.steps([2.0, 1.5, 0.5]))
+
+    def test_negative_rate_rejected(self):
+        solver = FisherKPPSolver()
+        with pytest.raises(ValueError, match="non-negative"):
+            next(solver.steps([-1.0, 0.5, 0.5]))
+
+
+class TestSolverProtocol:
+    def test_field_and_parameter_dims(self):
+        solver = FisherKPPSolver(FisherKPPConfig(n_points=40))
+        assert solver.field_size == 40
+        assert solver.parameter_dim == 3
+
+    def test_steps_yields_t0_through_T(self):
+        solver = FisherKPPSolver(FisherKPPConfig(n_points=16, n_timesteps=9))
+        assert len(list(solver.steps(PARAMS))) == 10
+
+    def test_trajectories_are_deterministic(self):
+        solver = FisherKPPSolver(FisherKPPConfig(n_points=24, n_timesteps=10))
+        a = solver.solve(PARAMS).as_array()
+        b = solver.solve(PARAMS).as_array()
+        np.testing.assert_array_equal(a, b)

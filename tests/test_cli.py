@@ -12,7 +12,9 @@ from repro.workflow.results import StudyResults
 
 class TestParser:
     def test_registry_covers_all_experiments(self):
-        assert set(EXPERIMENTS) == {"fig3a", "fig3b", "fig4", "fig6", "overhead", "table1"}
+        assert set(EXPERIMENTS) == {
+            "fig3a", "fig3b", "cross", "fig4", "fig6", "overhead", "table1",
+        }
 
     def test_backend_resolution(self):
         from repro.cli import _resolve_backend
@@ -131,3 +133,44 @@ class TestCliRuns:
         assert main(args) == 0  # no --resume: fresh invocation, fresh checkpoint
         checkpoint = tmp_path / "fig3b_smoke.runs.jsonl"
         assert len(checkpoint.read_text().splitlines()) == 2  # not 4
+
+
+class TestWorkloadFlag:
+    def test_cross_runs_selected_workloads(self, tmp_path, capsys):
+        assert main([
+            "cross", "--scale", "smoke", "--out", str(tmp_path),
+            "--workload", "burgers", "--workload", "fisher",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "burgers" in out and "fisher" in out
+        study = StudyResults.load_json(tmp_path / "cross_smoke.json")
+        assert len(study) == 4  # 2 workloads x {breed, random}
+        status = json.loads(out.strip().splitlines()[-1])
+        assert status["experiment"] == "cross"
+
+    def test_cross_rejects_unknown_workload(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["cross", "--workload", "nope", "--out", str(tmp_path)])
+
+    def test_cross_accepts_mixed_case_workload_names(self, tmp_path, capsys):
+        # the registry is case-insensitive; the CLI validation must be too
+        assert main([
+            "cross", "--scale", "smoke", "--workload", "Burgers", "--out", str(tmp_path),
+        ]) == 0
+        study = StudyResults.load_json(tmp_path / "cross_smoke.json")
+        assert {run.workload for run in study.runs} == {"burgers"}
+
+    def test_fig3b_runs_against_another_workload(self, tmp_path, capsys):
+        assert main([
+            "fig3b", "--scale", "smoke", "--factor", "sigma",
+            "--workload", "advection1d", "--out", str(tmp_path),
+        ]) == 0
+        study = StudyResults.load_json(tmp_path / "fig3b_smoke.json")
+        assert {run.workload for run in study.runs} == {"advection1d"}
+
+    def test_single_workload_experiments_reject_several(self, tmp_path):
+        with pytest.raises(SystemExit, match="single workload"):
+            main([
+                "fig3b", "--workload", "burgers", "--workload", "fisher",
+                "--out", str(tmp_path),
+            ])
