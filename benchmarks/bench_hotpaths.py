@@ -1,0 +1,45 @@
+"""Hot-path micro-benches driven through the ``repro.bench`` scenario registry.
+
+These wrap the same scenarios the regression harness times (``python -m
+repro.cli bench``) in pytest-benchmark, so the interactive benchmark workflow
+(``pytest benchmarks/ --benchmark-only``) and the machine-readable regression
+gate measure *one* definition of each hot path.  The selection covers the
+vectorisation targets of the performance pass documented in
+``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench import get_scenario
+
+HOTPATHS = [
+    "reservoir/draw",
+    "reservoir/ingest",
+    "nn/forward",
+    "nn/train_step",
+    "nn/optimizer_step",
+    "solver/heat2d_explicit",
+    "solver/advection2d",
+    "session/online_smoke",
+]
+
+
+@pytest.mark.benchmark(group="hotpaths")
+@pytest.mark.parametrize("scenario_name", HOTPATHS)
+def test_hotpath_scenario(benchmark, scenario_name):
+    """Time one registry scenario; the returned unit count must be stable."""
+    scenario = get_scenario(scenario_name)
+    run = scenario.build()
+    try:
+        units = benchmark(run.fn)
+    finally:
+        if run.cleanup is not None:
+            run.cleanup()
+    emit(
+        f"Hot path — {scenario.name}",
+        f"{units} {scenario.units} per call ({scenario.description})",
+    )
+    assert units > 0

@@ -5,13 +5,17 @@ Driver mode (no ``--mode``) orchestrates the whole scenario in one command::
 
     PYTHONPATH=src python scripts/kill_resume_smoke.py
 
-1. spawn a *victim* subprocess running a tiny fig3a-style training run
+1. run the configuration uninterrupted, from scratch, and record how many
+   training iterations it actually performs — the kill point is derived from
+   that count (half-way through), so the victim is *guaranteed* to be killed
+   strictly mid-run regardless of how the scale presets evolve (a fixed kill
+   iteration used to flake when the run terminated before reaching it),
+2. spawn a *victim* subprocess running the same tiny fig3a-style training run
    (H=16, L=1, Breed) with ``checkpoint_every`` snapshots, which SIGKILLs
-   itself mid-run — no cleanup, no atexit, exactly like an OOM kill or node
-   failure,
-2. check the victim died from SIGKILL and left complete snapshots behind,
-3. resume the run from its latest snapshot and drive it to completion,
-4. run the identical configuration uninterrupted, from scratch,
+   itself at the derived iteration — no cleanup, no atexit, exactly like an
+   OOM kill or node failure,
+3. check the victim died from SIGKILL and left complete snapshots behind,
+4. resume the run from its latest snapshot and drive it to completion,
 5. assert the resumed and uninterrupted runs' final metrics and full loss
    series are **bit-identical**.
 
@@ -28,6 +32,10 @@ import signal
 import subprocess
 import sys
 from pathlib import Path
+
+
+#: snapshot interval (training batches) of the victim/resume configurations
+CHECKPOINT_EVERY = 20
 
 
 def build_config(checkpoint_dir: str | None = None, checkpoint_every: int = 0):
@@ -67,7 +75,7 @@ def run_victim(workdir: Path, kill_at_iteration: int) -> None:
     """Run with checkpointing and SIGKILL ourselves at the given iteration."""
     from repro.checkpoint import resume_or_start
 
-    config = build_config(str(workdir / "snapshots"), checkpoint_every=20)
+    config = build_config(str(workdir / "snapshots"), checkpoint_every=CHECKPOINT_EVERY)
     session = resume_or_start(config)
 
     def kill(s) -> None:
@@ -75,14 +83,19 @@ def run_victim(workdir: Path, kill_at_iteration: int) -> None:
             os.kill(os.getpid(), signal.SIGKILL)
 
     session.on_tick.append(kill)
+    resumed_at = session.server.iteration
     session.run()
-    raise SystemExit("victim survived to completion; kill_at_iteration too high?")
+    raise SystemExit(
+        "victim survived to completion: "
+        f"started at iteration {resumed_at}, ended at {session.server.iteration} "
+        f"after {session.n_ticks} ticks with kill_at_iteration={kill_at_iteration}"
+    )
 
 
 def run_resume(workdir: Path, out: Path) -> None:
     from repro.checkpoint import resume_or_start
 
-    config = build_config(str(workdir / "snapshots"), checkpoint_every=20)
+    config = build_config(str(workdir / "snapshots"), checkpoint_every=CHECKPOINT_EVERY)
     session = resume_or_start(config)
     if session.server.iteration == 0:
         raise SystemExit("no snapshot found to resume from")
@@ -97,26 +110,55 @@ def run_reference(out: Path) -> None:
     out.write_text(json.dumps(metrics_of(result)))
 
 
+def derive_kill_iteration(reference: dict) -> int:
+    """Mid-run kill point derived from the reference's *actual* iteration count.
+
+    A fixed kill iteration flakes: if the run terminates (budget exhausted or
+    data-starved) before ever reaching it, the victim survives to completion
+    and the SIGKILL check fails.  Half the measured iteration count is
+    strictly mid-run by construction.  The kill must also land *after* the
+    first periodic snapshot: the kill hook runs before the checkpoint-policy
+    hook on the tick that crosses both thresholds, so a kill point at or just
+    past ``CHECKPOINT_EVERY`` could SIGKILL the victim with no snapshot on
+    disk.  The floor of ``CHECKPOINT_EVERY + 5`` clears the snapshot tick
+    (iterations advance a couple per tick); a reference run too short to
+    accommodate it fails loudly instead of flaking.
+    """
+    iterations = int(reference["iterations"])
+    floor = CHECKPOINT_EVERY + 5
+    if iterations <= floor:
+        raise SystemExit(
+            f"reference run performed only {iterations} iteration(s); killing mid-run "
+            f"after the first snapshot needs more than {floor} — lengthen the run"
+        )
+    return max(floor, iterations // 2)
+
+
 def drive(workdir: Path) -> int:
     workdir.mkdir(parents=True, exist_ok=True)
-    print(f"[1/4] spawning victim (SIGKILL at iteration 60) in {workdir}")
+    print("[1/4] running the uninterrupted reference (also sizes the kill point)")
+    run_reference(workdir / "reference.json")
+    reference = json.loads((workdir / "reference.json").read_text())
+    kill_at = derive_kill_iteration(reference)
+
+    print(f"[2/4] spawning victim (SIGKILL at iteration {kill_at} "
+          f"of {int(reference['iterations'])}) in {workdir}")
     victim = subprocess.run(
-        [sys.executable, __file__, "--mode", "victim", "--workdir", str(workdir)],
+        [sys.executable, __file__, "--mode", "victim", "--workdir", str(workdir),
+         "--kill-at-iteration", str(kill_at)],
         env=dict(os.environ),
     )
     if victim.returncode != -signal.SIGKILL and victim.returncode != 128 + signal.SIGKILL:
         print(f"FAIL: victim exited with {victim.returncode}, expected SIGKILL")
         return 1
     snapshots = sorted((workdir / "snapshots").glob("step-*"))
-    print(f"[2/4] victim SIGKILLed; snapshots left behind: {[p.name for p in snapshots]}")
+    print(f"[3/4] victim SIGKILLed; snapshots left behind: {[p.name for p in snapshots]}")
     if not snapshots:
         print("FAIL: the victim left no snapshots")
         return 1
 
-    print("[3/4] resuming from the latest snapshot")
+    print("[4/4] resuming from the latest snapshot")
     run_resume(workdir, workdir / "resumed.json")
-    print("[4/4] running the uninterrupted reference")
-    run_reference(workdir / "reference.json")
 
     resumed = json.loads((workdir / "resumed.json").read_text())
     reference = json.loads((workdir / "reference.json").read_text())

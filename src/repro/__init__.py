@@ -56,7 +56,7 @@ Package layout
     One module per paper table/figure, reproducing its rows/series.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.5.0"
 
 from repro.melissa.run import (
     OnlineTrainingConfig,

@@ -1,0 +1,368 @@
+"""Built-in benchmark scenarios covering every measured hot path.
+
+Importing this module registers the scenarios (see
+:mod:`repro.bench.registry`); nothing here runs at import time.  The groups:
+
+* ``solver/*`` — per-workload trajectory stepping for all registered
+  workloads (plus the explicit heat2d stencil, whose fused step is a
+  measured optimisation target),
+* ``nn/*`` — surrogate forward, forward+backward+Adam training step, and
+  the bare optimizer update,
+* ``reservoir/*`` — buffer ingest (with eviction) and batch draws,
+* ``checkpoint/*`` — full-session snapshot save and restore,
+* ``session/*`` — a small end-to-end on-line training run,
+* ``study/*`` — tiny study throughput through the serial and process
+  executor backends.
+
+Scenario workloads are deterministic (fixed seeds, fixed work per call) so
+two reports from the same machine measure the same computation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.registry import ScenarioRun, register_scenario
+
+# --------------------------------------------------------------------- helpers
+
+
+def _bench_workloads():
+    from repro.api.registry import workload_names
+
+    return workload_names()
+
+
+def _build_workload(name: str):
+    from repro.experiments.base import base_config
+
+    return base_config("smoke", workload=name).build_workload()
+
+
+def _trajectory_parameters(bounds, n: int) -> np.ndarray:
+    """``n`` deterministic parameter vectors spread inside the bounds box."""
+    low, high = bounds.low_array, bounds.high_array
+    fractions = np.linspace(0.25, 0.75, n)[:, None]
+    return low[None, :] + fractions * (high - low)[None, :]
+
+
+def _tiny_session_config(seed: int = 0, **overrides):
+    from repro.experiments.base import base_config
+
+    config = base_config("smoke", method="breed", seed=seed)
+    fields = dict(
+        n_simulations=16,
+        max_iterations=60,
+        n_validation_trajectories=2,
+        hidden_size=16,
+        n_hidden_layers=1,
+    )
+    fields.update(overrides)
+    return dataclasses.replace(config, **fields)
+
+
+def _solver_scenario(workload_name: str, n_trajectories: int = 24) -> ScenarioRun:
+    workload = _build_workload(workload_name)
+    solver = workload.build_solver()
+    vectors = _trajectory_parameters(workload.bounds, n_trajectories)
+
+    def fn() -> int:
+        steps = 0
+        for params in vectors:
+            for _ in solver.steps(params):
+                steps += 1
+        return steps
+
+    return ScenarioRun(fn=fn)
+
+
+def _register_solver_scenarios() -> None:
+    for name in _bench_workloads():
+        register_scenario(
+            f"solver/{name}",
+            units="steps",
+            description=f"full-trajectory stepping of the {name!r} workload solver (smoke scale)",
+        )(lambda name=name: _solver_scenario(name))
+
+
+_register_solver_scenarios()
+
+
+@register_scenario(
+    "solver/heat2d_explicit",
+    units="steps",
+    description="explicit (sub-cycled) 2-D heat stencil — the fused-step optimisation target",
+)
+def _heat2d_explicit() -> ScenarioRun:
+    from repro.solvers.heat2d import Heat2DConfig, Heat2DExplicitSolver
+
+    solver = Heat2DExplicitSolver(Heat2DConfig(grid_size=48, n_timesteps=20))
+    params = np.array([250.0, 100.0, 200.0, 300.0, 400.0])
+
+    def fn() -> int:
+        steps = 0
+        for _ in solver.steps(params):
+            steps += 1
+        return steps * solver.substeps
+
+    return ScenarioRun(fn=fn)
+
+
+# ------------------------------------------------------------------------- nn
+
+
+def _surrogate(hidden: int = 64, layers: int = 3):
+    from repro.api.workloads import Heat2DWorkload
+    from repro.solvers.heat2d import Heat2DConfig
+    from repro.surrogate.model import DirectSurrogate
+
+    rng = np.random.default_rng(0)
+    workload = Heat2DWorkload(heat=Heat2DConfig(grid_size=64, n_timesteps=100))
+    model = DirectSurrogate(
+        workload.surrogate_config(hidden_size=hidden, n_hidden_layers=layers, activation="relu"),
+        workload.build_scalers(),
+        rng=rng,
+    )
+    inputs = rng.random((128, 6))
+    targets = rng.random((128, 64 * 64))
+    return model, inputs, targets
+
+
+@register_scenario(
+    "nn/forward",
+    units="samples",
+    description="surrogate MLP forward pass (H=64, L=3, batch 128, output 4096)",
+)
+def _nn_forward() -> ScenarioRun:
+    from repro import nn
+    from repro.nn.tensor import Tensor
+
+    model, inputs, _ = _surrogate()
+    x = Tensor(inputs)
+    inner = 20
+
+    def fn() -> int:
+        with nn.no_grad():
+            for _ in range(inner):
+                model(x)
+        return inner * 128
+
+    return ScenarioRun(fn=fn)
+
+
+@register_scenario(
+    "nn/train_step",
+    units="batches",
+    description="full training step: forward + backward + Adam (H=64, L=3, batch 128)",
+)
+def _nn_train_step() -> ScenarioRun:
+    from repro import nn
+    from repro.nn.tensor import Tensor
+
+    model, inputs, targets = _surrogate()
+    optimizer = nn.Adam(model.parameters(), lr=1e-3)
+    x, y = Tensor(inputs), Tensor(targets)
+    inner = 10
+
+    def fn() -> int:
+        for _ in range(inner):
+            model.zero_grad()
+            loss = nn.functional.per_sample_mse(model(x), y).mean()
+            loss.backward()
+            optimizer.step()
+        return inner
+
+    return ScenarioRun(fn=fn)
+
+
+@register_scenario(
+    "nn/optimizer_step",
+    units="steps",
+    description="bare Adam update over the surrogate parameter set (grads pre-filled)",
+)
+def _nn_optimizer_step() -> ScenarioRun:
+    from repro import nn
+
+    model, _, _ = _surrogate()
+    optimizer = nn.Adam(model.parameters(), lr=1e-3)
+    rng = np.random.default_rng(1)
+    for param in model.parameters():
+        param.grad = rng.standard_normal(param.shape)
+    inner = 50
+
+    def fn() -> int:
+        for _ in range(inner):
+            optimizer.step()
+        return inner
+
+    return ScenarioRun(fn=fn)
+
+
+# ------------------------------------------------------------------ reservoir
+
+
+def _reservoir(capacity: int = 512, watermark: int = 32, y_dim: int = 64):
+    from repro.melissa.reservoir import Reservoir
+
+    rng = np.random.default_rng(2)
+    reservoir = Reservoir(capacity=capacity, watermark=watermark, rng=rng)
+    payload_rng = np.random.default_rng(3)
+    xs = payload_rng.random((capacity, 6))
+    ys = payload_rng.random((capacity, y_dim))
+    return reservoir, xs, ys
+
+
+@register_scenario(
+    "reservoir/ingest",
+    units="samples",
+    description="reservoir put() throughput incl. eviction (capacity 512, interleaved draws)",
+)
+def _reservoir_ingest() -> ScenarioRun:
+    reservoir, xs, ys = _reservoir()
+    n_puts = 2000
+
+    def fn() -> int:
+        for i in range(n_puts):
+            reservoir.put(i % 512, i % 101, xs[i % 512], ys[i % 512])
+            if i % 16 == 15:
+                reservoir.sample_batch(32)
+        return n_puts
+
+    return ScenarioRun(fn=fn)
+
+
+@register_scenario(
+    "reservoir/draw",
+    units="batches",
+    description="reservoir batch draws from a full buffer (capacity 512, batch 64)",
+)
+def _reservoir_draw() -> ScenarioRun:
+    reservoir, xs, ys = _reservoir()
+    for i in range(512):
+        reservoir.put(i, i % 101, xs[i], ys[i])
+    inner = 200
+
+    def fn() -> int:
+        for _ in range(inner):
+            reservoir.sample_batch(64)
+        return inner
+
+    return ScenarioRun(fn=fn)
+
+
+# ----------------------------------------------------------------- checkpoint
+
+
+@register_scenario(
+    "checkpoint/save",
+    units="snapshots",
+    description="full-session snapshot save (tiny mid-run session, uncompressed)",
+)
+def _checkpoint_save() -> ScenarioRun:
+    from repro.api.session import TrainingSession
+    from repro.checkpoint import save_session
+
+    session = TrainingSession(_tiny_session_config())
+    while session.server.iteration < 20 and session.tick():
+        pass
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-save-"))
+    counter = [0]
+    inner = 5
+
+    def fn() -> int:
+        for _ in range(inner):
+            counter[0] += 1
+            save_session(session, tmp / f"snap-{counter[0]}")
+        return inner
+
+    return ScenarioRun(fn=fn, cleanup=lambda: shutil.rmtree(tmp, ignore_errors=True))
+
+
+@register_scenario(
+    "checkpoint/restore",
+    units="restores",
+    description="full-session snapshot restore incl. session rebuild (tiny session)",
+)
+def _checkpoint_restore() -> ScenarioRun:
+    from repro.api.session import TrainingSession
+    from repro.checkpoint import restore_session, save_session
+
+    config = _tiny_session_config()
+    session = TrainingSession(config)
+    while session.server.iteration < 20 and session.tick():
+        pass
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-restore-"))
+    snapshot = save_session(session, tmp)
+    inner = 3
+
+    def fn() -> int:
+        for _ in range(inner):
+            restore_session(snapshot, config)
+        return inner
+
+    return ScenarioRun(fn=fn, cleanup=lambda: shutil.rmtree(tmp, ignore_errors=True))
+
+
+# -------------------------------------------------------------------- session
+
+
+@register_scenario(
+    "session/online_smoke",
+    units="iterations",
+    description="end-to-end on-line training session (16 sims, 60 iterations, breed)",
+)
+def _session_online() -> ScenarioRun:
+    from repro.api.session import TrainingSession
+
+    config = _tiny_session_config()
+
+    def fn() -> int:
+        result = TrainingSession(config).run()
+        return int(result.server_summary["iterations"])
+
+    return ScenarioRun(fn=fn)
+
+
+# ---------------------------------------------------------------------- study
+
+
+def _study_scenario(backend: str) -> ScenarioRun:
+    from repro.workflow.study import StudyRunner
+
+    config = _tiny_session_config(max_iterations=40)
+    configurations = [{"method": "breed"}, {"method": "random"}]
+
+    def fn() -> int:
+        runner = StudyRunner(
+            base_config=config,
+            study_name=f"bench-{backend}",
+            backend=backend,
+            max_workers=2,
+        )
+        results = runner.run_all(configurations, name_key="method")
+        return int(results.timing_summary()["runs"])
+
+    return ScenarioRun(fn=fn)
+
+
+@register_scenario(
+    "study/serial",
+    units="runs",
+    description="tiny 2-run study through the serial executor backend",
+)
+def _study_serial() -> ScenarioRun:
+    return _study_scenario("serial")
+
+
+@register_scenario(
+    "study/process",
+    units="runs",
+    description="tiny 2-run study through the process-pool executor backend",
+)
+def _study_process() -> ScenarioRun:
+    return _study_scenario("process")

@@ -1,0 +1,96 @@
+"""Schema of the machine-readable benchmark report (``BENCH_*.json``).
+
+A report is one JSON document written by :func:`repro.bench.runner.run_scenarios`
+and consumed by :mod:`repro.bench.compare` and CI.  The schema is versioned so
+that a comparison between reports emitted by different revisions of the
+harness fails *loudly* instead of silently comparing incompatible numbers.
+
+The validator is hand-rolled (no ``jsonschema`` dependency): it checks the
+exact structure the compare path relies on and raises
+:class:`BenchSchemaError` naming the offending path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["BENCH_SCHEMA_VERSION", "BenchSchemaError", "validate_report"]
+
+#: bump on any structural change to the report document
+BENCH_SCHEMA_VERSION = 1
+
+#: required top-level keys and their types
+_TOP_LEVEL = {
+    "schema_version": int,
+    "created_unix": (int, float),
+    "env": dict,
+    "settings": dict,
+    "results": list,
+}
+
+#: required keys of every entry in ``results`` and their types
+_RESULT_KEYS = {
+    "name": str,
+    "group": str,
+    "units": str,
+    "n_units": (int, float),
+    "repeats": int,
+    "warmup": int,
+    "wall_times": list,
+    "best_seconds": (int, float),
+    "mean_seconds": (int, float),
+    "units_per_second": (int, float),
+}
+
+#: required keys of the environment fingerprint
+_ENV_KEYS = ("python", "numpy", "scipy", "platform", "machine", "cpu_count")
+
+
+class BenchSchemaError(ValueError):
+    """A benchmark report does not match :data:`BENCH_SCHEMA_VERSION`."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(message)
+
+
+def validate_report(report: Any) -> Dict[str, Any]:
+    """Validate ``report`` against the current schema; return it unchanged.
+
+    Raises
+    ------
+    BenchSchemaError
+        On any missing key, wrong type, wrong schema version, duplicate
+        scenario name, or non-positive timing.  The message names the
+        offending JSON path.
+    """
+    _require(isinstance(report, dict), "report must be a JSON object")
+    for key, types in _TOP_LEVEL.items():
+        _require(key in report, f"missing top-level key {key!r}")
+        _require(isinstance(report[key], types), f"{key!r} must be {types}")
+    _require(
+        report["schema_version"] == BENCH_SCHEMA_VERSION,
+        f"schema_version is {report['schema_version']!r}, "
+        f"this harness reads version {BENCH_SCHEMA_VERSION}",
+    )
+    for key in _ENV_KEYS:
+        _require(key in report["env"], f"env is missing {key!r}")
+    results: List[Any] = report["results"]
+    _require(bool(results), "results must contain at least one scenario")
+    seen: set = set()
+    for index, entry in enumerate(results):
+        path = f"results[{index}]"
+        _require(isinstance(entry, dict), f"{path} must be an object")
+        for key, types in _RESULT_KEYS.items():
+            _require(key in entry, f"{path} is missing {key!r}")
+            _require(isinstance(entry[key], types), f"{path}.{key} must be {types}")
+        _require(entry["name"] not in seen, f"{path}.name {entry['name']!r} is duplicated")
+        seen.add(entry["name"])
+        _require(len(entry["wall_times"]) == entry["repeats"],
+                 f"{path}.wall_times must hold exactly `repeats` entries")
+        _require(all(isinstance(t, (int, float)) and t > 0 for t in entry["wall_times"]),
+                 f"{path}.wall_times must be positive numbers")
+        _require(entry["best_seconds"] > 0, f"{path}.best_seconds must be positive")
+        _require(entry["n_units"] > 0, f"{path}.n_units must be positive")
+    return report

@@ -22,6 +22,14 @@ across *every* registered workload (or the repeated ``--workload`` flags)::
     python -m repro.cli cross --scale smoke --jobs 4
     python -m repro.cli cross --workload advection1d --workload fisher
 
+``bench`` is the performance subcommand (see :mod:`repro.bench`): it runs
+registered benchmark scenarios with warmup/repeat control, writes
+schema-versioned ``BENCH_*.json`` reports, and gates on a regression
+threshold against a baseline report::
+
+    python -m repro.cli bench --out BENCH.json
+    python -m repro.cli bench --compare benchmarks/baselines/BENCH_pr5.json
+
 ``--checkpoint-every N`` additionally snapshots every run's *full session
 state* every N training batches (see :mod:`repro.checkpoint`), and
 ``--restore`` resumes an interrupted invocation: completed runs are spliced
@@ -336,10 +344,19 @@ def _list_experiments() -> str:
         (name, "study" if exp.parallel else "single", exp.help)
         for name, exp in sorted(EXPERIMENTS.items())
     ]
+    rows.append(("bench", "perf", "benchmark harness (see `bench --help` / --list-scenarios)"))
     return format_table(["experiment", "kind", "description"], rows)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        # The bench subcommand owns its flags (scenario selection, repeats,
+        # compare/threshold) — dispatch before the experiment parser rejects
+        # them.  Imported lazily: the harness pulls in heavier modules.
+        from repro.bench.cli import bench_main
+
+        return bench_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:

@@ -28,11 +28,51 @@ __all__ = [
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
-    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout: (out, in))."""
-    out = x.matmul(weight.transpose())
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout: (out, in)).
+
+    Implemented as one fused autograd node: the whole batch goes through a
+    single GEMM forward and a single backward callback computing
+    ``grad_x = g @ W``, ``grad_W = (xᵀ g)ᵀ`` and ``grad_b = Σ_batch g``
+    directly — instead of the three chained nodes (transpose → matmul → add)
+    the composed form records.  The arithmetic is the exact operation
+    sequence of the composed form, so results and gradients are
+    **bit-identical**; the fusion removes per-layer graph bookkeeping and
+    skips ``grad_x`` entirely when the input is a leaf that does not require
+    gradients (the usual case for the first layer's batch input).
+    """
+    xd, w = x.data, weight.data
+    if xd.ndim > 2:
+        # Rare shapes keep the composed (broadcasting) implementation.
+        out = x.matmul(weight.transpose())
+        if bias is not None:
+            out = out + bias
+        return out
+    out = xd @ w.T
     if bias is not None:
-        out = out + bias
-    return out
+        out = out + bias.data
+        parents = (x, weight, bias)
+    else:
+        parents = (x, weight)
+
+    def backward(grad: np.ndarray):
+        if xd.ndim == 1:
+            grad_w = (xd[:, None] @ grad[None, :]).transpose()
+            grad_x = (grad[None, :] @ w).reshape(xd.shape) if _wants_grad(x) else None
+            grad_b = grad
+        else:
+            grad_w = (xd.T @ grad).transpose()
+            grad_x = grad @ w if _wants_grad(x) else None
+            grad_b = grad.sum(axis=0)
+        if bias is None:
+            return grad_x, grad_w
+        return grad_x, grad_w, grad_b
+
+    return x._make(out, parents, backward)
+
+
+def _wants_grad(tensor: Tensor) -> bool:
+    """Whether a backward pass must propagate a gradient into ``tensor``."""
+    return tensor.requires_grad or tensor._backward is not None
 
 
 def relu(x: Tensor) -> Tensor:

@@ -123,6 +123,10 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
         self._v: List[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        # Per-parameter scratch buffers: step() is the per-batch hot path and
+        # would otherwise allocate ~6 temporaries per parameter per call.
+        self._scratch: List[np.ndarray] = [np.empty_like(p.data) for p in self.parameters]
+        self._scratch2: List[np.ndarray] = [np.empty_like(p.data) for p in self.parameters]
 
     def _apply_weight_decay(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
         if self.weight_decay:
@@ -130,6 +134,13 @@ class Adam(Optimizer):
         return grad
 
     def step(self) -> None:
+        """One Adam update over every parameter that has a gradient.
+
+        The update is written with explicit ``out=`` buffers but performs the
+        *exact* scalar-by-scalar operation sequence of the textbook form
+        (``m/bias1``, ``sqrt(v/bias2) + eps``, ``lr·m̂/denom``), so results
+        are bit-identical to the allocating implementation it replaced.
+        """
         self.step_count += 1
         t = self.step_count
         bias1 = 1.0 - self.beta1**t
@@ -140,13 +151,24 @@ class Adam(Optimizer):
             grad = self._apply_weight_decay(param, param.grad)
             m = self._m[index]
             v = self._v[index]
+            s1 = self._scratch[index]
+            s2 = self._scratch2[index]
+            # m ← β₁·m + (1-β₁)·grad ; v ← β₂·v + (1-β₂)·grad²
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
+            m += s1
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, 1.0 - self.beta2, out=s1)
+            np.multiply(s1, grad, out=s1)
+            v += s1
+            # denom ← sqrt(v/bias2) + eps ; update ← (lr·(m/bias1)) / denom
+            np.divide(v, bias2, out=s1)
+            np.sqrt(s1, out=s1)
+            s1 += self.eps
+            np.divide(m, bias1, out=s2)
+            np.multiply(s2, self.lr, out=s2)
+            np.divide(s2, s1, out=s2)
+            param.data -= s2
 
     def state_dict(self) -> Dict[str, object]:
         state = super().state_dict()

@@ -1,4 +1,22 @@
-"""Lightweight wall-clock timing helpers for the framework and benchmarks."""
+"""Lightweight wall-clock timing helpers for the framework and benchmarks.
+
+Two layers of instrumentation build on these helpers:
+
+* the training server's per-phase timers (``receive``/``train``/
+  ``acquisition``/``validation`` spans through a :class:`TimerRegistry`),
+  which feed the paper's framework-overhead measurement
+  (``repro.experiments.overhead``), and
+* the benchmark harness (:mod:`repro.bench`), whose scenario runner measures
+  whole timed bodies with :func:`time.perf_counter` directly but reports the
+  same wall-clock quantity these timers accumulate.
+
+All timers read :func:`time.perf_counter` (monotonic, sub-microsecond
+resolution); they measure wall time, not CPU time, because the quantity of
+interest throughout the project is end-to-end throughput.  Timing values are
+*measurement*, never state: checkpoints exclude them, and restored sessions
+restart every timer at zero (see
+:meth:`repro.melissa.server.TrainingServer.state_dict`).
+"""
 
 from __future__ import annotations
 
@@ -12,7 +30,29 @@ __all__ = ["Timer", "TimerRegistry", "timed"]
 
 @dataclass
 class Timer:
-    """Accumulating timer: sums the duration of successive start/stop spans."""
+    """Accumulating timer: sums the duration of successive start/stop spans.
+
+    One :class:`Timer` tracks one named phase.  Spans must not overlap —
+    :meth:`start` on a running timer raises, which catches accidental
+    re-entrancy in instrumented loops.
+
+    Attributes
+    ----------
+    name:
+        Label used in summaries and error messages.
+    total:
+        Accumulated wall-clock seconds over every completed span.
+    count:
+        Number of completed spans (``total / count`` is :attr:`mean`).
+
+    Example
+    -------
+    >>> t = Timer(name="demo")
+    >>> with t.span():
+    ...     _ = sum(range(1000))
+    >>> t.count
+    1
+    """
 
     name: str = "timer"
     total: float = 0.0
@@ -20,11 +60,16 @@ class Timer:
     _start: float | None = None
 
     def start(self) -> None:
+        """Open a span; raises ``RuntimeError`` if one is already open."""
         if self._start is not None:
             raise RuntimeError(f"Timer {self.name!r} already started")
         self._start = time.perf_counter()
 
     def stop(self) -> float:
+        """Close the open span; returns its duration and accumulates it.
+
+        Raises ``RuntimeError`` when no span is open.
+        """
         if self._start is None:
             raise RuntimeError(f"Timer {self.name!r} not started")
         elapsed = time.perf_counter() - self._start
@@ -35,10 +80,15 @@ class Timer:
 
     @property
     def mean(self) -> float:
+        """Mean span duration in seconds (0.0 before the first span)."""
         return self.total / self.count if self.count else 0.0
 
     @contextmanager
     def span(self) -> Iterator["Timer"]:
+        """Context manager timing one span: ``with timer.span(): ...``.
+
+        The span is closed (and accumulated) even when the body raises.
+        """
         self.start()
         try:
             yield self
@@ -48,22 +98,37 @@ class Timer:
 
 @dataclass
 class TimerRegistry:
-    """Named collection of :class:`Timer` objects (per-phase instrumentation)."""
+    """Named collection of :class:`Timer` objects (per-phase instrumentation).
+
+    The registry creates timers on first use, so instrumented code needs no
+    up-front declaration::
+
+        timers = TimerRegistry()
+        with timers.span("train"):
+            ...
+        print("\\n".join(timers.summary()))
+
+    The training server keeps one registry per run; the overhead experiment
+    reads its totals to show steering cost is negligible next to training.
+    """
 
     timers: Dict[str, Timer] = field(default_factory=dict)
 
     def get(self, name: str) -> Timer:
+        """Return the timer registered under ``name``, creating it if new."""
         if name not in self.timers:
             self.timers[name] = Timer(name=name)
         return self.timers[name]
 
     @contextmanager
     def span(self, name: str) -> Iterator[Timer]:
+        """Time one span of the named phase (creates the timer on first use)."""
         timer = self.get(name)
         with timer.span():
             yield timer
 
     def summary(self) -> List[str]:
+        """One formatted line per timer (sorted by name): total/count/mean."""
         lines = []
         for name in sorted(self.timers):
             t = self.timers[name]
@@ -73,7 +138,12 @@ class TimerRegistry:
 
 @contextmanager
 def timed() -> Iterator[Timer]:
-    """Context manager returning a one-shot timer: ``with timed() as t: ...``."""
+    """One-shot timer: ``with timed() as t: ...; print(t.total)``.
+
+    Sugar for ad-hoc measurements in examples and benchmarks; the yielded
+    :class:`Timer` holds the elapsed wall time in ``t.total`` after the
+    block exits (also on exceptions).
+    """
     t = Timer()
     t.start()
     try:

@@ -1,0 +1,45 @@
+"""Fixtures for the benchmark-harness tests: synthetic schema-valid reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BENCH_SCHEMA_VERSION
+
+
+def _synthetic_report(names=("a/x", "a/y")) -> dict:
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "created_unix": 1_700_000_000.0,
+        "env": {
+            "python": "3.11.0",
+            "numpy": "2.0.0",
+            "scipy": "1.14.0",
+            "platform": "test",
+            "machine": "x86_64",
+            "cpu_count": 1,
+            "git_sha": None,
+        },
+        "settings": {"repeats": 2, "warmup": 0},
+        "results": [
+            {
+                "name": name,
+                "group": name.split("/")[0],
+                "units": "steps",
+                "n_units": 100,
+                "repeats": 2,
+                "warmup": 0,
+                "wall_times": [0.02, 0.03],
+                "best_seconds": 0.02,
+                "mean_seconds": 0.025,
+                "units_per_second": 5000.0,
+            }
+            for name in names
+        ],
+    }
+
+
+@pytest.fixture
+def synthetic_report():
+    """Factory of minimal schema-valid reports (``synthetic_report(names=…)``)."""
+    return _synthetic_report

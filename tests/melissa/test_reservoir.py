@@ -168,3 +168,119 @@ class TestReservoirInvariants:
             # A rejection may only ever happen when the buffer is full.
             if rejected and len(reservoir) < capacity:
                 pytest.fail("sample rejected while the reservoir had free space")
+
+
+class _ReferenceReservoir:
+    """The pre-vectorisation entry-list implementation, kept as the oracle."""
+
+    def __init__(self, capacity, watermark, rng):
+        self.capacity = capacity
+        self.watermark = watermark
+        self._rng = rng
+        self._entries = []
+
+    def put(self, simulation_id, timestep, x, y):
+        from repro.melissa.reservoir import ReservoirEntry
+
+        entry = ReservoirEntry(simulation_id=simulation_id, timestep=timestep, x=x, y=y)
+        if len(self._entries) < self.capacity:
+            self._entries.append(entry)
+            return True
+        seen_indices = [i for i, e in enumerate(self._entries) if e.seen_count > 0]
+        if not seen_indices:
+            return False
+        victim = int(self._rng.choice(seen_indices))
+        self._entries[victim] = entry
+        return True
+
+    def sample_batch(self, batch_size):
+        if len(self._entries) < self.watermark or not self._entries:
+            return None
+        n = len(self._entries)
+        take = min(batch_size, n)
+        indices = self._rng.choice(n, size=take, replace=False)
+        xs = np.stack([self._entries[i].x for i in indices], axis=0)
+        ys = np.stack([self._entries[i].y for i in indices], axis=0)
+        sim_ids = np.array([self._entries[i].simulation_id for i in indices], dtype=np.int64)
+        steps = np.array([self._entries[i].timestep for i in indices], dtype=np.int64)
+        for i in indices:
+            self._entries[i].seen_count += 1
+        return xs, ys, sim_ids, steps
+
+
+class TestVectorisedBitIdentity:
+    """SoA storage must replay the entry-list implementation bit-for-bit:
+    identical RNG consumption, identical batch payloads, identical state."""
+
+    def test_random_op_sequence_matches_reference(self):
+        driver = np.random.default_rng(7)
+        for seed in range(5):
+            reservoir = Reservoir(capacity=12, watermark=4, rng=np.random.default_rng(seed))
+            reference = _ReferenceReservoir(capacity=12, watermark=4, rng=np.random.default_rng(seed))
+            for op in range(300):
+                if driver.random() < 0.6:
+                    x = driver.random(3)
+                    y = driver.random(5)
+                    assert reservoir.put(op, op % 11, x, y) == reference.put(op, op % 11, x, y)
+                else:
+                    size = int(driver.integers(1, 9))
+                    got = reservoir.sample_batch(size)
+                    want = reference.sample_batch(size)
+                    assert (got is None) == (want is None)
+                    if got is not None:
+                        np.testing.assert_array_equal(got.inputs, want[0])
+                        np.testing.assert_array_equal(got.simulation_ids, want[2])
+            # Final buffer content must agree entry by entry.
+            entries = reservoir.entries()
+            assert len(entries) == len(reference._entries)
+            for got_entry, want_entry in zip(entries, reference._entries):
+                assert got_entry.simulation_id == want_entry.simulation_id
+                assert got_entry.seen_count == want_entry.seen_count
+                np.testing.assert_array_equal(got_entry.x, want_entry.x)
+
+    def test_interleaved_draws_match_reference_exactly(self):
+        reservoir = Reservoir(capacity=10, watermark=3, rng=np.random.default_rng(3))
+        reference = _ReferenceReservoir(capacity=10, watermark=3, rng=np.random.default_rng(3))
+        payload = np.random.default_rng(9)
+        for op in range(200):
+            x = payload.random(4)
+            y = payload.random(6)
+            assert reservoir.put(op, op % 13, x, y) == reference.put(op, op % 13, x, y)
+            if op % 3 == 2:
+                got = reservoir.sample_batch(4)
+                want = reference.sample_batch(4)
+                assert (got is None) == (want is None)
+                if got is not None:
+                    np.testing.assert_array_equal(got.inputs, want[0])
+                    np.testing.assert_array_equal(got.targets, want[1])
+                    np.testing.assert_array_equal(got.simulation_ids, want[2])
+                    np.testing.assert_array_equal(got.timesteps, want[3])
+        np.testing.assert_array_equal(
+            reservoir.seen_counts(),
+            np.array([e.seen_count for e in reference._entries], dtype=np.int64),
+        )
+
+    def test_state_dict_round_trip_preserves_layout(self):
+        reservoir = make_reservoir(capacity=6, watermark=2, seed=5)
+        for i in range(6):
+            put_sample(reservoir, i, timestep=i)
+        reservoir.sample_batch(3)
+        state = reservoir.state_dict()
+        clone = make_reservoir(capacity=6, watermark=2, seed=5)
+        clone.load_state_dict(state)
+        assert clone.state_dict().keys() == state.keys()
+        for key, value in state.items():
+            np.testing.assert_array_equal(clone.state_dict()[key], value)
+        # The restored buffer draws identically (same rng, same layout).
+        other = make_reservoir(capacity=6, watermark=2, seed=5)
+        other.load_state_dict(state)
+        a = clone.sample_batch(4)
+        b = other.sample_batch(4)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.simulation_ids, b.simulation_ids)
+
+    def test_mismatched_sample_dimensions_raise(self):
+        reservoir = make_reservoir(capacity=4, watermark=1)
+        put_sample(reservoir, 0)
+        with pytest.raises(ValueError, match="buffer layout"):
+            reservoir.put(1, 0, x=np.zeros(7), y=np.zeros(3))

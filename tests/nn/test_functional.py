@@ -132,3 +132,63 @@ class TestDropout:
     def test_invalid_probability(self, rng):
         with pytest.raises(ValueError):
             F.dropout(Tensor([1.0]), 1.0, rng)
+
+
+class TestLinearFusionBitIdentity:
+    """The fused linear node must reproduce the composed form bit-for-bit.
+
+    ``F.linear`` records one autograd node; the reference below records the
+    chain it replaced (transpose -> matmul -> add).  Forward values and every
+    gradient must be *exactly* equal -- the training loop's bit-identical
+    resume/parity contracts depend on it.
+    """
+
+    @staticmethod
+    def _composed(x, w, b):
+        out = x.matmul(w.transpose())
+        if b is not None:
+            out = out + b
+        return out
+
+    @pytest.mark.parametrize("batched", [True, False])
+    @pytest.mark.parametrize("with_bias", [True, False])
+    def test_forward_and_gradients_exact(self, rng, batched, with_bias):
+        shape = (7, 5) if batched else (5,)
+        x_data = rng.normal(size=shape)
+        w_data = rng.normal(size=(3, 5))
+        b_data = rng.normal(size=(3,)) if with_bias else None
+
+        def build():
+            x = Tensor(x_data.copy(), requires_grad=True)
+            w = Tensor(w_data.copy(), requires_grad=True)
+            b = Tensor(b_data.copy(), requires_grad=True) if with_bias else None
+            return x, w, b
+
+        x1, w1, b1 = build()
+        fused = F.linear(x1, w1, b1)
+        x2, w2, b2 = build()
+        composed = self._composed(x2, w2, b2)
+        np.testing.assert_array_equal(fused.data, composed.data)
+
+        seed_grad = rng.normal(size=fused.shape)
+        fused.backward(seed_grad.copy())
+        composed.backward(seed_grad.copy())
+        np.testing.assert_array_equal(x1.grad, x2.grad)
+        np.testing.assert_array_equal(w1.grad, w2.grad)
+        if with_bias:
+            np.testing.assert_array_equal(b1.grad, b2.grad)
+
+    def test_leaf_input_without_grad_is_skipped(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)))  # leaf, requires_grad=False
+        w = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        out = F.linear(x, w)
+        out.backward(np.ones(out.shape))
+        assert x.grad is None
+        assert w.grad is not None
+
+    def test_grad_flows_through_chained_inputs(self, rng):
+        base = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        out = F.linear(base * 2.0, w)
+        out.backward(np.ones(out.shape))
+        assert base.grad is not None and base.grad.shape == (4, 5)

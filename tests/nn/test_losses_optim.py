@@ -259,3 +259,41 @@ class TestSchedulers:
         sched.step()
         sched.step()
         assert len(sched.history) == 3
+
+
+class TestAdamBufferedBitIdentity:
+    """Adam's out=-buffered update must match the allocating textbook form
+    bit-for-bit (the buffers change memory traffic, not arithmetic)."""
+
+    def test_buffered_update_matches_reference_exactly(self):
+        from repro.nn.module import Parameter
+
+        rng = np.random.default_rng(11)
+        shapes = [(16, 6), (16,), (40, 16), (40,)]
+        params = [Parameter(rng.normal(size=s)) for s in shapes]
+        optimizer = nn.Adam(params, lr=1e-3)
+
+        # Reference state mirroring the original allocating implementation.
+        ref = [p.data.copy() for p in params]
+        ref_m = [np.zeros_like(p.data) for p in params]
+        ref_v = [np.zeros_like(p.data) for p in params]
+        beta1, beta2, eps, lr = optimizer.beta1, optimizer.beta2, optimizer.eps, optimizer.lr
+
+        for t in range(1, 6):
+            grads = [rng.normal(size=s) for s in shapes]
+            for p, g in zip(params, grads):
+                p.grad = g.copy()
+            optimizer.step()
+            bias1 = 1.0 - beta1**t
+            bias2 = 1.0 - beta2**t
+            for i, g in enumerate(grads):
+                m, v = ref_m[i], ref_v[i]
+                m *= beta1
+                m += (1.0 - beta1) * g
+                v *= beta2
+                v += (1.0 - beta2) * g * g
+                m_hat = m / bias1
+                v_hat = v / bias2
+                ref[i] = ref[i] - lr * m_hat / (np.sqrt(v_hat) + eps)
+            for p, expected in zip(params, ref):
+                np.testing.assert_array_equal(p.data, expected)

@@ -133,3 +133,47 @@ class TestSolverProtocol:
         *_, final = solver.steps(PARAMS_1D)
         exact = solver.exact(PARAMS_1D, 20 * config.dt)
         assert rel_l2(final, exact) < 0.2
+
+
+class TestFused2DStepBitIdentity:
+    """The buffered 2-D update must replay the np.roll reference expression
+    bit-for-bit, for every upwind direction."""
+
+    @staticmethod
+    def _reference_steps(config, field0):
+        field = field0.copy()
+        ax = config.velocity[0] * config.dt / config.dx
+        ay = config.velocity[1] * config.dt / config.dx
+        diff = config.nu * config.dt / config.dx**2
+        while True:
+            if config.velocity[0] >= 0:
+                grad_x = field - np.roll(field, 1, axis=0)
+            else:
+                grad_x = np.roll(field, -1, axis=0) - field
+            if config.velocity[1] >= 0:
+                grad_y = field - np.roll(field, 1, axis=1)
+            else:
+                grad_y = np.roll(field, -1, axis=1) - field
+            laplacian = (
+                np.roll(field, 1, axis=0)
+                + np.roll(field, -1, axis=0)
+                + np.roll(field, 1, axis=1)
+                + np.roll(field, -1, axis=1)
+                - 4.0 * field
+            )
+            field = field - ax * grad_x - ay * grad_y + diff * laplacian
+            yield field
+
+    @pytest.mark.parametrize("velocity", [(1.0, 0.5), (-1.0, 0.5), (1.0, -0.5), (-0.7, -0.4)])
+    def test_fused_steps_match_roll_reference_exactly(self, velocity):
+        config = AdvectionDiffusion2DConfig(
+            grid_size=16, n_timesteps=9, dt=0.005, velocity=velocity, nu=0.004
+        )
+        solver = AdvectionDiffusion2DSolver(config)
+        field0 = solver.initial_field(PARAMS_2D).reshape(config.grid_size, config.grid_size)
+        reference = self._reference_steps(config, field0)
+        for step, field in enumerate(solver.steps(PARAMS_2D)):
+            if step == 0:
+                np.testing.assert_array_equal(field, field0.ravel())
+            else:
+                np.testing.assert_array_equal(field, next(reference).ravel())

@@ -156,3 +156,20 @@ class TestExplicitSolver:
         solver = Heat2DExplicitSolver(Heat2DConfig(grid_size=8, n_timesteps=3))
         assert solver.field_size == 64
         assert solver.parameter_dim == 5
+
+
+class TestFusedStepBitIdentity:
+    """steps() uses out=-buffered fused arithmetic; it must replay the
+    reference sub-step (_step_once) bit-for-bit at every time step."""
+
+    def test_fused_steps_match_reference_substeps_exactly(self):
+        config = Heat2DConfig(grid_size=12, n_timesteps=7, dt=0.01)
+        solver = Heat2DExplicitSolver(config)
+        params = [250.0, 100.0, 200.0, 300.0, 400.0]
+        boundary = (100.0, 200.0, 300.0, 400.0)
+        reference = solver.initial_field(params)
+        for step, field in enumerate(solver.steps(params)):
+            if step > 0:
+                for _ in range(solver.substeps):
+                    reference = solver._step_once(reference, boundary)
+            np.testing.assert_array_equal(field, reference.reshape(-1))

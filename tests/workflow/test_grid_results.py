@@ -125,3 +125,22 @@ class TestStudyResults:
         run = RunResult.from_dict({"name": "old", "config": {}, "metrics": {"loss": 1.0}})
         assert run.workload == "heat2d"
         assert run.seed == 0
+
+
+class TestTimingSummary:
+    def test_summarises_elapsed_seconds(self):
+        results = StudyResults(study="s")
+        results.add(RunResult(name="a", config={}, metrics={"elapsed_seconds": 2.0}))
+        results.add(RunResult(name="b", config={}, metrics={"elapsed_seconds": 4.0}))
+        results.add(RunResult(name="c", config={}, metrics={}))  # no timing recorded
+        summary = results.timing_summary()
+        assert summary == {
+            "runs": 3.0,
+            "total_seconds": 6.0,
+            "mean_seconds": 3.0,
+            "max_seconds": 4.0,
+        }
+
+    def test_empty_results(self):
+        summary = StudyResults(study="s").timing_summary()
+        assert summary["runs"] == 0.0 and summary["total_seconds"] == 0.0
