@@ -46,9 +46,15 @@ Package layout
     streams, client progress), a periodic ``CheckpointPolicy`` on the
     session's ``on_tick`` hook, and bit-identical mid-run resume via
     ``restore_session``/``resume_or_start``.
+``repro.service``
+    The long-running study service: a stdlib HTTP server over a persistent
+    job store, streaming progress events, deduplicating identical
+    submissions by configuration fingerprint, and resuming every in-flight
+    job from its checkpoints after a restart (``python -m repro.cli serve``).
 ``repro.cli``
     The ``repro`` console script launching any registered experiment at any
-    scale with any executor backend.
+    scale with any executor backend, plus the ``bench`` and ``serve``
+    subcommands.
 ``repro.analysis``
     Figure/series generation: loss curves, parameter-deviation histograms and
     the loss-statistics correlation matrix.
@@ -56,7 +62,7 @@ Package layout
     One module per paper table/figure, reproducing its rows/series.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro.melissa.run import (
     OnlineTrainingConfig,

@@ -12,7 +12,9 @@ Importing this module registers the scenarios (see
 * ``checkpoint/*`` — full-session snapshot save and restore,
 * ``session/*`` — a small end-to-end on-line training run,
 * ``study/*`` — tiny study throughput through the serial and process
-  executor backends.
+  executor backends,
+* ``service/*`` — HTTP round-trips against a live study service (submit,
+  poll progress, wait for completion).
 
 Scenario workloads are deterministic (fixed seeds, fixed work per call) so
 two reports from the same machine measure the same computation.
@@ -366,3 +368,46 @@ def _study_serial() -> ScenarioRun:
 )
 def _study_process() -> ScenarioRun:
     return _study_scenario("process")
+
+
+# -------------------------------------------------------------------- service
+
+
+@register_scenario(
+    "service/submit_roundtrip",
+    units="requests",
+    description="HTTP submit -> first progress event -> completed job against a live service",
+)
+def _service_submit_roundtrip() -> ScenarioRun:
+    from repro.service import ServiceClient, StudyService
+
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-service-"))
+    service = StudyService(root, port=0, n_workers=1, checkpoint_every=0).start()
+    client = ServiceClient(service.url, timeout=60.0)
+    config = _tiny_session_config(max_iterations=40).to_dict()
+    # each call submits a distinct single-run study (the seed changes), so
+    # dedupe never short-circuits the measured path
+    seed_counter = iter(range(10_000))
+
+    def fn() -> int:
+        seed = next(seed_counter)
+        job = client.submit(
+            "bench-service",
+            dict(config, seed=seed),
+            configurations=[{}],
+        )
+        requests = 1
+        events = client.events(job["id"])
+        requests += 1
+        record = client.wait(job["id"], timeout=120.0, poll_seconds=0.05)
+        requests += 1  # wait()'s final poll observed the terminal state
+        if record["state"] != "done":
+            raise RuntimeError(f"bench job ended {record['state']!r}: {record['error']}")
+        assert events is not None
+        return requests
+
+    def cleanup() -> None:
+        service.stop()
+        shutil.rmtree(root, ignore_errors=True)
+
+    return ScenarioRun(fn=fn, cleanup=cleanup)

@@ -30,6 +30,12 @@ threshold against a baseline report::
     python -m repro.cli bench --out BENCH.json
     python -m repro.cli bench --compare benchmarks/baselines/BENCH_pr5.json
 
+``serve`` starts the long-running study service (see :mod:`repro.service`):
+an HTTP server with a persistent job queue that accepts study submissions,
+streams progress, and resumes every in-flight job after a restart::
+
+    python -m repro.cli serve --root studies/ --port 8517 --workers 2
+
 ``--checkpoint-every N`` additionally snapshots every run's *full session
 state* every N training batches (see :mod:`repro.checkpoint`), and
 ``--restore`` resumes an interrupted invocation: completed runs are spliced
@@ -45,15 +51,18 @@ from __future__ import annotations
 import argparse
 import json
 import shutil
+import signal
 import sys
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro import __version__
 from repro.analysis.report import format_table
 from repro.experiments.base import SCALES
 
-__all__ = ["EXPERIMENTS", "Experiment", "main"]
+__all__ = ["EXPERIMENTS", "Experiment", "main", "serve_main"]
 
 
 @dataclass(frozen=True)
@@ -296,11 +305,115 @@ EXPERIMENTS: Dict[str, Experiment] = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Graceful interruption (SIGINT/SIGTERM) of the long-running paths
+# ---------------------------------------------------------------------------
+
+
+def _install_signal_handlers() -> None:
+    """Convert the first SIGINT/SIGTERM into ``KeyboardInterrupt``.
+
+    The long-running CLI paths (experiment studies, ``serve``) catch it and
+    shut down cleanly — on-disk checkpoints are already flushed run-by-run,
+    so nothing needs to happen *in* the handler.  A second signal falls back
+    to the default disposition (hard interrupt/termination), so a wedged
+    shutdown can still be escaped.  No-op outside the main thread (tests,
+    embedding), where ``signal.signal`` is unavailable.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def handler(signum: int, frame: object) -> None:
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, handler)
+    signal.signal(signal.SIGTERM, handler)
+
+
+def _write_interrupt_marker(args: argparse.Namespace, experiment: Experiment) -> Path:
+    """Record a clean interruption of a study next to its checkpoint files."""
+    marker = _out_dir(args) / f"{experiment.name}_{args.scale}.interrupted.json"
+    hint = (
+        f"python -m repro.cli {experiment.name} --scale {args.scale} --out {args.out} --restore"
+        if experiment.parallel
+        else f"python -m repro.cli {experiment.name} --scale {args.scale} --out {args.out}"
+    )
+    marker.write_text(json.dumps({
+        "experiment": experiment.name,
+        "scale": args.scale,
+        "clean": True,
+        "resume": hint,
+    }, indent=2) + "\n")
+    return marker
+
+
+# ---------------------------------------------------------------------------
+# serve — the long-running study service
+# ---------------------------------------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the study service: an HTTP server with a persistent job "
+                    "queue, streaming progress, and restart-safe resume "
+                    "(see docs/SERVICE.md).",
+    )
+    parser.add_argument("--root", default="service", metavar="DIR",
+                        help="job-store directory; holds every job's queue state, "
+                             "progress events, run records and session snapshots "
+                             "(default: service/)")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8517,
+                        help="TCP port; 0 picks an ephemeral port, advertised in "
+                             "<root>/server.json (default: 8517)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="background study workers draining the queue (default: 1)")
+    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="default mid-run session-snapshot period in training "
+                             "batches for jobs that do not choose their own "
+                             "(default: 25)")
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.cli serve``."""
+    from repro.service import DEFAULT_CHECKPOINT_EVERY, StudyService
+
+    args = build_serve_parser().parse_args(argv)
+    checkpoint_every = (
+        args.checkpoint_every if args.checkpoint_every is not None else DEFAULT_CHECKPOINT_EVERY
+    )
+    service = StudyService(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        checkpoint_every=checkpoint_every,
+    )
+    _install_signal_handlers()
+    service.start()
+    print(f"study service listening on {service.url} (root: {args.root}, "
+          f"workers: {args.workers}); Ctrl-C stops cleanly", flush=True)
+    try:
+        service.wait()
+    except KeyboardInterrupt:
+        print("shutting down: waiting for workers to reach a run boundary …", flush=True)
+    finally:
+        service.stop()
+    print(f"stopped cleanly; in-flight jobs re-queued and will resume on the next "
+          f"`repro serve --root {args.root}`", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Launch the paper-reproduction experiments through the study engine.",
     )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
     parser.add_argument(
         "experiment",
         nargs="?",
@@ -345,6 +458,7 @@ def _list_experiments() -> str:
         for name, exp in sorted(EXPERIMENTS.items())
     ]
     rows.append(("bench", "perf", "benchmark harness (see `bench --help` / --list-scenarios)"))
+    rows.append(("serve", "service", "long-running study server (see `serve --help` / docs/SERVICE.md)"))
     return format_table(["experiment", "kind", "description"], rows)
 
 
@@ -357,6 +471,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bench.cli import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # Same dispatch pattern for the study service's own flag set.
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
@@ -397,7 +514,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"running serially from scratch ({', '.join(ignored)} ignored)",
                 file=sys.stderr,
             )
-    outcome = experiment.run(args)
+    _install_signal_handlers()
+    try:
+        outcome = experiment.run(args)
+    except KeyboardInterrupt:
+        # Graceful interruption: completed runs are already flushed to the
+        # JSONL checkpoint and session snapshots are atomic, so exit cleanly
+        # with a marker + resume hint instead of a raw traceback.
+        marker = _write_interrupt_marker(args, experiment)
+        hint = json.loads(marker.read_text())["resume"]
+        print(f"\ninterrupted cleanly — checkpoints are intact (marker: {marker})",
+              file=sys.stderr)
+        if experiment.parallel:
+            print(f"resume with: {hint}", file=sys.stderr)
+        return 0
     print(json.dumps(outcome))
     return 0
 

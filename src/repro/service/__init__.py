@@ -1,0 +1,64 @@
+"""``repro.service`` — a long-running study server over the batch engine.
+
+The batch layers (PR 2's study engine, PR 3's checkpointing) execute one
+invocation and exit; this package turns them into something that *serves
+requests*: a stdlib-only HTTP server fronting a persistent job queue, with
+streaming progress and restart-safe, bit-identical resume.
+
+* :mod:`repro.service.schemas` — wire vocabulary: :class:`JobSpec`,
+  submission validation, the deduplicating :func:`job_fingerprint`.
+* :mod:`repro.service.store` — the on-disk :class:`JobStore`: one directory
+  per job holding its spec/state (atomic ``job.json``), progress events,
+  the ``runs.jsonl`` checkpoint and per-run session snapshots.
+* :mod:`repro.service.worker` — the background :class:`WorkerPool` draining
+  the queue through :class:`~repro.workflow.study.StudyRunner`.
+* :mod:`repro.service.server` — :class:`StudyService`: the
+  ``ThreadingHTTPServer`` front-end (submit / list / inspect / stream /
+  result / cancel) and the recover-on-start, marker-on-stop lifecycle.
+* :mod:`repro.service.client` — :class:`ServiceClient`, the tiny
+  ``urllib``-only client used by tests, CI and examples.
+
+Typical use::
+
+    from repro.service import StudyService, ServiceClient
+
+    service = StudyService("studies/", port=8517, n_workers=2).start()
+    client = ServiceClient(service.url)
+    job = client.submit("sweep", config.to_dict(), [{"hidden_size": 8}])
+    client.wait(job["id"])
+    results = client.result(job["id"])
+    service.stop()
+
+or, from a shell: ``python -m repro.cli serve --root studies/ --port 8517``.
+See ``docs/SERVICE.md`` for the endpoint reference and resume semantics.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.schemas import (
+    JOB_STATES,
+    JobSpec,
+    SubmissionError,
+    job_fingerprint,
+    validate_submission,
+)
+from repro.service.server import SHUTDOWN_MARKER, StudyService
+from repro.service.store import JobRecord, JobStore, UnknownJobError
+from repro.service.worker import DEFAULT_CHECKPOINT_EVERY, Worker, WorkerPool
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "JOB_STATES",
+    "SHUTDOWN_MARKER",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "ServiceClient",
+    "ServiceError",
+    "StudyService",
+    "SubmissionError",
+    "UnknownJobError",
+    "Worker",
+    "WorkerPool",
+    "job_fingerprint",
+    "validate_submission",
+]

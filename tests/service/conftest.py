@@ -1,0 +1,54 @@
+"""Shared fixtures of the study-service tests: tiny studies, live servers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import pytest
+
+from repro.experiments.base import base_config
+from repro.service import StudyService
+
+
+def _tiny_config(seed: int = 0, **overrides):
+    config = base_config("smoke", method="breed", seed=seed)
+    fields = dict(
+        n_simulations=6,
+        max_iterations=30,
+        n_validation_trajectories=2,
+        hidden_size=8,
+        n_hidden_layers=1,
+    )
+    fields.update(overrides)
+    return dataclasses.replace(config, **fields)
+
+
+@pytest.fixture
+def make_config() -> Callable:
+    """Factory of configs whose runs finish in a fraction of a second."""
+    return _tiny_config
+
+
+@pytest.fixture
+def make_payload() -> Callable:
+    """Factory of valid submission payloads with ``n_runs`` distinct runs."""
+
+    def factory(seed: int = 0, n_runs: int = 2, study_name: str = "svc-test", **config_overrides):
+        return {
+            "study_name": study_name,
+            "config": _tiny_config(seed=seed, **config_overrides).to_dict(),
+            "configurations": [{"hidden_size": 8 + 4 * i} for i in range(n_runs)],
+        }
+
+    return factory
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    """A started service on an ephemeral port, stopped (cleanly) at teardown."""
+    service = StudyService(tmp_path / "svc", port=0, n_workers=1, checkpoint_every=10).start()
+    try:
+        yield service
+    finally:
+        service.stop()

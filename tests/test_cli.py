@@ -48,6 +48,47 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_version_matches_pyproject(self):
+        from pathlib import Path
+
+        from repro import __version__
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        assert f'version = "{__version__}"' in pyproject.read_text()
+
+    def test_serve_listed_alongside_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        assert "serve" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.root == "service"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8517
+        assert args.workers == 1
+
+    def test_overrides(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(
+            ["--root", "/tmp/svc", "--port", "0", "--workers", "3", "--checkpoint-every", "5"]
+        )
+        assert (args.root, args.port, args.workers, args.checkpoint_every) == (
+            "/tmp/svc", 0, 3, 5,
+        )
+
 
 class TestCliRuns:
     def test_table1(self, tmp_path, capsys):
