@@ -147,7 +147,7 @@ def kill_on_first_run(url: str, job_id: str, proc: subprocess.Popen) -> None:
 # ---------------------------------------------------------------------- driver
 
 
-def drive(workdir: Path) -> int:
+def drive(workdir: Path, backend: str = "serial") -> int:
     from repro.service import ServiceClient
 
     workdir.mkdir(parents=True, exist_ok=True)
@@ -157,12 +157,13 @@ def drive(workdir: Path) -> int:
     print(f"[1/5] running the in-process serial reference ({N_RUNS} runs)")
     reference = run_reference()
 
-    print("[2/5] starting the server and submitting the study (plus a duplicate)")
+    print(f"[2/5] starting the server and submitting the study (plus a duplicate, "
+          f"backend={backend})")
     proc = start_server(root)
     url = discover_url(root, proc)
     client = ServiceClient(url, timeout=120.0)
-    job = client.submit(STUDY_NAME, config, configurations())
-    duplicate = client.submit(STUDY_NAME, config, configurations())
+    job = client.submit(STUDY_NAME, config, configurations(), backend=backend)
+    duplicate = client.submit(STUDY_NAME, config, configurations(), backend=backend)
     if not duplicate["deduplicated"] or duplicate["id"] != job["id"]:
         print("FAIL: identical submission did not dedupe onto the first job")
         return 1
@@ -217,8 +218,13 @@ def drive(workdir: Path) -> int:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workdir", default="results/service_smoke")
+    parser.add_argument("--backend", default="serial",
+                        help="executor backend the submitted job runs through "
+                             "(serial/process/shm); the in-process reference "
+                             "always runs serially, so any backend must match "
+                             "it bit-identically")
     args = parser.parse_args()
-    return drive(Path(args.workdir))
+    return drive(Path(args.workdir), backend=args.backend)
 
 
 if __name__ == "__main__":

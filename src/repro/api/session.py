@@ -261,12 +261,13 @@ class TrainingSession:
             return produced
         for client in self.launcher.running_clients():
             messages = client.produce(self.config.timesteps_per_tick)
-            for message in messages:
-                # Volume accounting only; the message itself stays in the
-                # local bounded-memory pending queue.
-                self.transport.account(message)
-                self.pending_messages.append(message)
-            produced += len(messages)
+            if messages:
+                # Volume accounting only — one batched call per trajectory
+                # chunk; the messages themselves stay in the local
+                # bounded-memory pending queue.
+                self.transport.account_batch(messages)
+                self.pending_messages.extend(messages)
+                produced += len(messages)
             if client.finished:
                 self.launcher.mark_finished(client.simulation_id)
         return produced

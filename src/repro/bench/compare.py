@@ -129,9 +129,9 @@ def format_comparison(comparison: Comparison, baseline_label: Optional[str] = No
         format_table(["scenario", "baseline ms", "current ms", "delta", "status"], rows)
     )
     for name in comparison.only_in_baseline:
-        lines.append(f"note: {name} only in baseline (skipped)")
+        lines.append(f"warning: {name} only in baseline — skipped (retired scenario?)")
     for name in comparison.only_in_current:
-        lines.append(f"note: {name} only in current report (no baseline)")
+        lines.append(f"warning: {name} only in current report — skipped (no baseline yet)")
     if comparison.has_regressions:
         worst = max(comparison.regressions, key=lambda d: d.delta_pct)
         lines.append(

@@ -11,8 +11,9 @@ Importing this module registers the scenarios (see
 * ``reservoir/*`` — buffer ingest (with eviction) and batch draws,
 * ``checkpoint/*`` — full-session snapshot save and restore,
 * ``session/*`` — a small end-to-end on-line training run,
-* ``study/*`` — tiny study throughput through the serial and process
-  executor backends,
+* ``study/*`` — tiny study throughput through the serial, process and
+  shared-memory executor backends, plus validation-heavy throughput and
+  worker-scaling comparisons of the parallel backends,
 * ``service/*`` — HTTP round-trips against a live study service (submit,
   poll progress, wait for completion).
 
@@ -368,6 +369,83 @@ def _study_serial() -> ScenarioRun:
 )
 def _study_process() -> ScenarioRun:
     return _study_scenario("process")
+
+
+@register_scenario(
+    "study/shm",
+    units="runs",
+    description="tiny 2-run study through the shared-memory executor backend",
+)
+def _study_shm() -> ScenarioRun:
+    return _study_scenario("shm")
+
+
+def _study_throughput_scenario(backend: str, max_workers: int, n_runs: int = 8) -> ScenarioRun:
+    """Validation-heavy study throughput of one parallel backend.
+
+    The scenario is built so the dominant study input — the fixed validation
+    set, 256 full solver trajectories — dwarfs any single run: that is exactly
+    the input the process backend rebuilds once *per worker* while the shm
+    backend builds it once in the parent and shares it zero-copy, so the
+    runs/s gap between ``study/process_throughput`` and
+    ``study/shm_throughput`` is the measured value of zero-copy input
+    sharing.
+    """
+    from repro.workflow.study import StudyRunner
+
+    config = _tiny_session_config(
+        n_simulations=8,
+        max_iterations=30,
+        n_validation_trajectories=256,
+    )
+    configurations = [{"seed": seed} for seed in range(n_runs)]
+
+    def fn() -> int:
+        runner = StudyRunner(
+            base_config=config,
+            study_name=f"bench-{backend}-tp{max_workers}",
+            backend=backend,
+            max_workers=max_workers,
+        )
+        return len(runner.run_all(configurations))
+
+    return ScenarioRun(fn=fn)
+
+
+@register_scenario(
+    "study/process_throughput",
+    units="runs",
+    description="validation-heavy 8-run study, process backend, 4 workers",
+)
+def _study_process_throughput() -> ScenarioRun:
+    return _study_throughput_scenario("process", max_workers=4)
+
+
+@register_scenario(
+    "study/shm_throughput",
+    units="runs",
+    description="validation-heavy 8-run study, shm backend, 4 workers",
+)
+def _study_shm_throughput() -> ScenarioRun:
+    return _study_throughput_scenario("shm", max_workers=4)
+
+
+@register_scenario(
+    "study/shm_workers1",
+    units="runs",
+    description="validation-heavy 8-run study, shm backend, 1 worker (scaling base)",
+)
+def _study_shm_workers1() -> ScenarioRun:
+    return _study_throughput_scenario("shm", max_workers=1)
+
+
+@register_scenario(
+    "study/shm_workers2",
+    units="runs",
+    description="validation-heavy 8-run study, shm backend, 2 workers",
+)
+def _study_shm_workers2() -> ScenarioRun:
+    return _study_throughput_scenario("shm", max_workers=2)
 
 
 # -------------------------------------------------------------------- service

@@ -61,6 +61,7 @@ from typing import Callable, Dict, List, Optional
 from repro import __version__
 from repro.analysis.report import format_table
 from repro.experiments.base import SCALES
+from repro.workflow.executor import BACKENDS
 
 __all__ = ["EXPERIMENTS", "Experiment", "main", "serve_main"]
 
@@ -425,8 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker count; N > 1 implies --backend process")
-    parser.add_argument("--backend", choices=["serial", "process"], default=None,
-                        help="executor backend (default: serial, or process when --jobs > 1)")
+    parser.add_argument("--backend", choices=list(BACKENDS), default=None,
+                        help="executor backend (default: serial, or process when --jobs > 1; "
+                             "shm shares study inputs/results through shared memory)")
     parser.add_argument("--out", default="results", metavar="DIR",
                         help="output directory for result JSON and checkpoints (default: results/)")
     parser.add_argument("--resume", default=None, metavar="JSONL",
@@ -501,7 +503,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             flag
             for flag, value in (
                 ("--jobs", args.jobs is not None and args.jobs > 1),
-                ("--backend", args.backend == "process"),
+                ("--backend", args.backend in ("process", "shm")),
                 ("--resume", args.resume is not None),
                 ("--restore", args.restore),
                 ("--checkpoint-every", args.checkpoint_every is not None),

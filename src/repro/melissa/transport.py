@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterator, List, Optional, Sequence
 
 from repro.melissa.messages import Message, TimeStepMessage
 
@@ -36,6 +36,22 @@ class TransportStats:
         if isinstance(message, TimeStepMessage):
             self.n_bytes += message.nbytes
         self.max_depth = max(self.max_depth, depth)
+
+    def record_batch(self, messages: Sequence[Message], depth: int) -> None:
+        """Account a whole batch in one call.
+
+        Totals are exactly those of calling :meth:`record` per message at
+        the same ``depth`` — the counters are sums and a running max, so
+        batching is free of accounting drift.
+        """
+        if not messages:
+            return
+        self.n_messages += len(messages)
+        self.n_bytes += sum(
+            message.nbytes for message in messages if isinstance(message, TimeStepMessage)
+        )
+        if depth > self.max_depth:
+            self.max_depth = depth
 
     def record_drop(self) -> None:
         self.n_dropped += 1
@@ -71,6 +87,15 @@ class Channel:
         hop without the pointless ``put``/``get`` round-trip.
         """
         self.stats.record(message, len(self._queue))
+
+    def account_batch(self, messages: Sequence[Message]) -> None:
+        """Volume-account one batch of messages in a single call.
+
+        The batched equivalent of :meth:`account` — one trajectory chunk per
+        call instead of one call per message — with identical totals and
+        ``state_dict`` layout.
+        """
+        self.stats.record_batch(messages, len(self._queue))
 
     def get(self) -> Optional[Message]:
         if not self._queue:
@@ -124,6 +149,10 @@ class InProcessTransport:
     def account(self, message: Message) -> None:
         """Volume-account a client→server message on the data channel."""
         self.data.account(message)
+
+    def account_batch(self, messages: Sequence[Message]) -> None:
+        """Volume-account one client→server trajectory chunk on the data channel."""
+        self.data.account_batch(messages)
 
     # ---------------------------------------------------------------- state
     def state_dict(self) -> Dict[str, object]:

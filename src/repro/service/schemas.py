@@ -77,7 +77,7 @@ class JobSpec:
     name_key: Optional[str] = None
     #: executor backend the worker drives the study through
     backend: str = "serial"
-    #: worker-pool size of the ``process`` backend (None → CPU count)
+    #: worker-pool size of the parallel backends (None → CPU count)
     max_workers: Optional[int] = None
     #: mid-run session-snapshot period in batches (None → server default)
     checkpoint_every: Optional[int] = None

@@ -11,11 +11,16 @@ is the in-Python equivalent of that workflow engine:
 * :class:`StudyInputCache` — per-process cache of the expensive study inputs
   (solver factorisation, fixed Halton validation set), keyed by scenario so
   multi-workload studies still share them within one worker.
-* :class:`SerialExecutor` / :class:`MultiprocessExecutor` — the two
-  :class:`Executor` backends.  The serial backend keeps the full
+* :class:`SerialExecutor` / :class:`MultiprocessExecutor` /
+  :class:`SharedMemoryExecutor` — the three :class:`Executor` backends.
+  The serial backend keeps the full
   :class:`~repro.api.session.OnlineTrainingResult` (model included)
   in-process; the multiprocess backend ships only the picklable
-  :class:`~repro.workflow.results.RunResult` back from the workers.
+  :class:`~repro.workflow.results.RunResult` back from the workers; the
+  shared-memory backend additionally shares the study inputs and result
+  series through ``multiprocessing.shared_memory`` blocks
+  (:mod:`repro.workflow.shm`) so nothing large is pickled in either
+  direction.
 * :class:`JsonlCheckpoint` — an append-only JSONL record of completed runs,
   written as results finish (in completion order) and read back by
   ``StudyRunner.run_all(..., resume=...)`` to skip completed runs after a
@@ -30,9 +35,12 @@ metrics and series for the same specs — except for the wall-clock
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 from repro.api.config import OnlineTrainingConfig
 from repro.api.session import OnlineTrainingResult
@@ -51,10 +59,13 @@ __all__ = [
     "MultiprocessExecutor",
     "RunSpec",
     "SerialExecutor",
+    "SharedInputCache",
+    "SharedMemoryExecutor",
     "StudyInputCache",
     "TIMING_METRICS",
     "apply_overrides",
     "config_digest",
+    "effective_worker_count",
     "execute_spec",
     "get_executor",
 ]
@@ -344,9 +355,7 @@ class MultiprocessExecutor:
         if not specs:
             return []
         records: List[Optional[RunResult]] = [None] * len(specs)
-        max_workers = self.max_workers
-        if max_workers is not None:
-            max_workers = max(1, min(max_workers, len(specs)))
+        max_workers = effective_worker_count(self.max_workers, len(specs), backend="process")
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = {
                 pool.submit(_execute_spec_in_worker, spec): index
@@ -361,8 +370,252 @@ class MultiprocessExecutor:
         return [record for record in records if record is not None]
 
 
+# ---------------------------------------------------------------------------
+# Shared-memory backend
+# ---------------------------------------------------------------------------
+
+#: test-only hook: a worker whose spec name equals this env var SIGKILLs
+#: itself instead of running, so the worker-crash path is deterministic
+_SHM_CRASH_ENV = "REPRO_SHM_TEST_CRASH_RUN"
+
+
+def effective_worker_count(
+    max_workers: Optional[int], n_specs: int, backend: str
+) -> int:
+    """Resolve a worker-pool size and log it once per study.
+
+    ``None`` defaults to ``os.cpu_count()``; either way the count is clamped
+    to ``[1, n_specs]`` — more workers than runs only cost startup time.  The
+    single log line is what makes scaling numbers readable off study logs.
+    """
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    workers = max(1, min(int(workers), n_specs))
+    _LOGGER.info(
+        "%s backend: %d worker(s) for %d run(s)%s",
+        backend,
+        workers,
+        n_specs,
+        "" if max_workers is not None else " (defaulted to CPU count)",
+    )
+    return workers
+
+
+class SharedInputCache(StudyInputCache):
+    """Worker-side input cache backed by :class:`SharedStudyInputs`.
+
+    Solvers are rebuilt locally (their factorisations are not shareable
+    objects), but validation sets — the expensive input, requiring full
+    solver trajectories over the Halton set — come zero-copy from the
+    parent's shared blocks whenever the scenario is known there.
+    """
+
+    def __init__(self, shared: "SharedStudyInputs") -> None:  # noqa: F821
+        super().__init__()
+        self._shared = shared
+
+    def inputs(self, config: OnlineTrainingConfig) -> Tuple[Solver, Optional[ValidationSet]]:
+        key = self.key(config)
+        if key not in self._entries:
+            workload = config.build_workload()
+            solver = workload.build_solver()
+            if key in self._shared:
+                validation = self._shared.validation_set(key)
+            else:  # scenario unknown to the parent (defensive fallback)
+                validation = validation_set_for_workload(
+                    workload, config.n_validation_trajectories, solver=solver
+                )
+            self._entries[key] = (solver, validation)
+        return self._entries[key]
+
+
+def _estimated_series_floats(config: OnlineTrainingConfig) -> int:
+    """Upper bound on one run's result-series floats (ring slot sizing).
+
+    Train series record at most one point per iteration; validation series
+    one point per ``validation_period`` plus the watermark/final points.
+    Underestimates are safe — oversized series fall back to pickling.
+    """
+    max_iterations = int(config.max_iterations)
+    validation_points = max_iterations // max(1, int(config.validation_period)) + 2
+    return 2 * max_iterations + 2 * validation_points + 16
+
+
+def _shm_worker_main(task_queue, result_queue, free_slots, inputs_manifest, ring_manifest):
+    """Shared-memory pool worker: attach once, stream runs through the ring."""
+    from repro.workflow.shm import SharedResultRing, SharedStudyInputs
+
+    shared = SharedStudyInputs.attach(inputs_manifest)
+    ring = SharedResultRing.attach(ring_manifest)
+    cache = SharedInputCache(shared)
+    try:
+        while True:
+            task = task_queue.get()
+            if task is None:
+                break
+            index, spec = task
+            try:
+                if os.environ.get(_SHM_CRASH_ENV) == spec.name:  # pragma: no cover
+                    import signal
+
+                    os.kill(os.getpid(), signal.SIGKILL)
+                record, _ = execute_spec(spec, cache)
+                series = {
+                    key: np.asarray(values, dtype=np.float64)
+                    for key, values in record.series.items()
+                }
+                slot = free_slots.get()
+                layout = ring.try_write(slot, series)
+                if layout is None:
+                    # Series exceed the preallocated slot: recycle it and
+                    # fall back to pickling the full record.
+                    free_slots.put(slot)
+                    result_queue.put(("inline", index, record, None, None))
+                else:
+                    record = replace(record, series={})
+                    result_queue.put(("slot", index, record, slot, layout))
+            except Exception:  # noqa: BLE001 - report, keep the worker alive
+                import traceback
+
+                result_queue.put(("error", index, spec.name, traceback.format_exc(), None))
+    finally:
+        ring.close()
+        shared.close()
+
+
+class SharedMemoryExecutor:
+    """Zero-copy parallel backend over ``multiprocessing.shared_memory``.
+
+    Differences from :class:`MultiprocessExecutor`, all invisible to callers
+    (records are bit-identical and arrive through the same ``on_record``
+    completion stream):
+
+    * the parent builds each distinct scenario's validation set **once** and
+      publishes it through :class:`~repro.workflow.shm.SharedStudyInputs`;
+      workers attach zero-copy instead of re-running the solver over the
+      validation trajectories per worker process,
+    * result series return through a preallocated
+      :class:`~repro.workflow.shm.SharedResultRing` — workers write float
+      arrays in place and send only run metadata; series too large for a
+      ring slot transparently fall back to pickling,
+    * worker processes are plain ``multiprocessing.Process`` loops over a
+      task queue, so a crashed worker (OOM kill, segfault) is detected and
+      reported as a ``RuntimeError`` instead of hanging the study, with all
+      shared segments cleaned up in every path.
+
+    The registry-visibility caveat of the process backend applies unchanged
+    (workloads registered at runtime need ``fork`` or an importable module).
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[StudyInputCache] = None,
+        slot_floats: Optional[int] = None,
+    ) -> None:
+        self.max_workers = max_workers
+        self.cache = cache if cache is not None else StudyInputCache()
+        #: override of the per-slot ring capacity (None → estimated bound)
+        self.slot_floats = slot_floats
+
+    def execute(
+        self, specs: Sequence[RunSpec], on_record: Optional[OnRecord] = None
+    ) -> List[RunResult]:
+        import multiprocessing as mp
+        import queue as queue_module
+
+        from repro.workflow.shm import SharedResultRing, SharedStudyInputs
+
+        if not specs:
+            return []
+        max_workers = effective_worker_count(self.max_workers, len(specs), backend="shm")
+
+        # Build every distinct scenario's inputs once, in the parent, and
+        # publish the validation arrays as shared blocks.
+        configs = [spec.build_config() for spec in specs]
+        entries: Dict[Any, Optional[ValidationSet]] = {}
+        for config in configs:
+            key = StudyInputCache.key(config)
+            if key not in entries:
+                entries[key] = self.cache.inputs(config)[1]
+        shared = SharedStudyInputs.build(entries.items())
+
+        slot_floats = self.slot_floats
+        if slot_floats is None:
+            slot_floats = max(_estimated_series_floats(config) for config in configs)
+        ring = SharedResultRing(
+            n_slots=min(len(specs), 2 * max_workers), slot_floats=slot_floats
+        )
+
+        ctx = mp.get_context()
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        free_slots = ctx.Queue()
+        for slot in range(ring.n_slots):
+            free_slots.put(slot)
+        workers = [
+            ctx.Process(
+                target=_shm_worker_main,
+                args=(task_queue, result_queue, free_slots,
+                      shared.manifest(), ring.manifest()),
+                name=f"shm-worker-{i}",
+                daemon=True,
+            )
+            for i in range(max_workers)
+        ]
+        records: List[Optional[RunResult]] = [None] * len(specs)
+        try:
+            for worker in workers:
+                worker.start()
+            for index, spec in enumerate(specs):
+                task_queue.put((index, spec))
+            for _ in workers:
+                task_queue.put(None)
+
+            n_done = 0
+            while n_done < len(specs):
+                try:
+                    message = result_queue.get(timeout=0.1)
+                except queue_module.Empty:
+                    dead = [w for w in workers if not w.is_alive() and w.exitcode not in (0, None)]
+                    if dead:
+                        raise RuntimeError(
+                            f"shm worker(s) {[w.name for w in dead]} died "
+                            f"(exit codes {[w.exitcode for w in dead]}) with "
+                            f"{len(specs) - n_done} run(s) outstanding"
+                        )
+                    continue
+                kind, index = message[0], message[1]
+                if kind == "error":
+                    _, _, name, trace, _ = message
+                    raise RuntimeError(f"run {name!r} failed in shm worker:\n{trace}")
+                _, _, record, slot, layout = message
+                if kind == "slot":
+                    record = replace(record, series=ring.read(slot, layout))
+                    free_slots.put(slot)
+                records[index] = record
+                n_done += 1
+                if on_record is not None:
+                    on_record(index, record)
+        finally:
+            for worker in workers:
+                if worker.is_alive():
+                    worker.terminate()
+            for worker in workers:
+                if worker.pid is not None:
+                    worker.join(timeout=10.0)
+            # Draining the queues lets their feeder threads exit cleanly.
+            for q in (task_queue, result_queue, free_slots):
+                q.cancel_join_thread()
+                q.close()
+            try:
+                ring.unlink()
+            finally:
+                shared.unlink()
+        return [record for record in records if record is not None]
+
+
 #: registry of executor-backend names accepted by StudyRunner / the CLI
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "shm")
 
 
 def get_executor(
@@ -375,6 +628,10 @@ def get_executor(
         return SerialExecutor(cache=cache)
     if backend == "process":
         return MultiprocessExecutor(max_workers=max_workers)
+    if backend == "shm":
+        # The caller's cache seeds the parent-side input build, so a runner
+        # that already built its scenario inputs shares instead of redoing.
+        return SharedMemoryExecutor(max_workers=max_workers, cache=cache)
     raise ValueError(f"unknown executor backend {backend!r}; options: {BACKENDS}")
 
 

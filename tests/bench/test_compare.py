@@ -72,6 +72,39 @@ class TestScenarioMatching:
         assert [d.name for d in comparison.deltas] == ["a/x", "a/y", "b/z"]
 
 
+class TestCompareCLI:
+    def test_unmatched_scenarios_warn_and_skip_with_exit_zero(
+        self, synthetic_report, tmp_path, capsys
+    ):
+        import json
+
+        from repro.bench.cli import bench_main
+
+        # The baseline knows one scenario the current run lacks (retired) and
+        # lacks one the current run has (new) — both must warn, neither may
+        # fail the gate.  A huge baseline best keeps the matched scenario
+        # from ever regressing on a slow machine.
+        baseline = synthetic_report(names=("reservoir/draw", "study/retired"))
+        for entry in baseline["results"]:
+            entry["best_seconds"] = 1000.0
+        path = tmp_path / "BENCH_base.json"
+        path.write_text(json.dumps(baseline))
+        code = bench_main(
+            [
+                "--scenario", "reservoir/draw",
+                "--scenario", "reservoir/ingest",
+                "--repeats", "1",
+                "--warmup", "0",
+                "--compare", str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warning: study/retired only in baseline" in out
+        assert "warning: reservoir/ingest only in current report" in out
+        assert "no regressions" in out
+
+
 class TestFormatting:
     def test_table_names_regressions(self, synthetic_report):
         baseline = with_best(synthetic_report(), "a/x", 0.010)

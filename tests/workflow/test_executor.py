@@ -3,21 +3,26 @@
 from __future__ import annotations
 
 import json
+import logging
 import pickle
 
 import pytest
 
 from repro.workflow.executor import (
+    _SHM_CRASH_ENV,
     JsonlCheckpoint,
     MultiprocessExecutor,
     RunSpec,
     SerialExecutor,
+    SharedMemoryExecutor,
     StudyInputCache,
     TIMING_METRICS,
+    effective_worker_count,
     execute_spec,
     get_executor,
 )
 from repro.workflow.results import RunResult, StudyResults
+from repro.workflow.shm import orphaned_segments
 from repro.workflow.study import StudyRunner
 
 #: a tiny one-factor-at-a-time grid (the fig3b shape) for backend comparisons
@@ -89,6 +94,7 @@ class TestExecutorBackends:
     def test_get_executor_names(self):
         assert isinstance(get_executor("serial"), SerialExecutor)
         assert isinstance(get_executor("process", max_workers=2), MultiprocessExecutor)
+        assert isinstance(get_executor("shm", max_workers=2), SharedMemoryExecutor)
         with pytest.raises(ValueError):
             get_executor("slurm")
 
@@ -122,6 +128,158 @@ class TestExecutorBackends:
         # Whatever order runs completed in, the returned list is spec order.
         assert [r.name for r in records] == [s.name for s in specs]
         assert sorted(seen) == sorted(s.name for s in specs)
+
+    def test_default_worker_count_is_cpu_count_clamped_to_specs(self, monkeypatch, caplog):
+        import repro.workflow.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        with caplog.at_level(logging.INFO, logger="repro.workflow"):
+            assert effective_worker_count(None, 3, backend="process") == 3
+        logged = [r for r in caplog.records if "worker(s)" in r.getMessage()]
+        assert len(logged) == 1
+        assert "defaulted to CPU count" in logged[0].getMessage()
+
+    def test_explicit_worker_count_clamped_to_at_least_one(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.workflow"):
+            assert effective_worker_count(0, 5, backend="shm") == 1
+            assert effective_worker_count(16, 5, backend="shm") == 5
+        assert all("defaulted" not in r.getMessage() for r in caplog.records)
+
+    def test_cpu_count_none_falls_back_to_one_worker(self, monkeypatch):
+        import repro.workflow.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: None)
+        assert effective_worker_count(None, 4, backend="process") == 1
+
+
+class TestSharedMemoryBackend:
+    @pytest.fixture(autouse=True)
+    def no_leaked_segments(self):
+        yield
+        assert orphaned_segments() == []
+
+    def test_shm_backend_bit_identical_to_serial(self, tiny_run_config):
+        serial = StudyRunner(base_config=tiny_run_config, study_name="det").run_all(GRID)
+        shm = StudyRunner(
+            base_config=tiny_run_config, study_name="det", backend="shm", max_workers=2
+        ).run_all(GRID)
+        assert [r.name for r in serial] == [r.name for r in shm]
+        for serial_run, shm_run in zip(serial, shm):
+            assert serial_run.series == shm_run.series
+            assert _comparable_metrics(serial_run) == _comparable_metrics(shm_run)
+            assert serial_run.workload == shm_run.workload
+            assert serial_run.seed == shm_run.seed
+
+    def test_all_backends_bit_identical_across_all_workloads(self, tiny_run_config):
+        """serial ↔ process ↔ shm parity on every built-in workload.
+
+        One study whose runs each select a different workload (the
+        cross-workload shape) — which also exercises the shm backend's
+        multi-scenario input sharing, one shared validation set per workload.
+        The list is pinned to the built-ins rather than ``workload_names()``
+        because doctest runs register throwaway workloads whose factories do
+        not survive outside their session.
+        """
+        from dataclasses import replace
+
+        from repro.api.registry import workload_names
+
+        builtins = (
+            "advection1d",
+            "advection2d",
+            "analytic",
+            "burgers",
+            "fisher",
+            "heat1d",
+            "heat2d",
+        )
+        assert set(builtins) <= set(workload_names())
+        config = replace(tiny_run_config, max_iterations=30)
+        configurations = [
+            {"_name": workload, "workload": workload} for workload in builtins
+        ]
+        per_backend = {
+            backend: StudyRunner(
+                base_config=config, study_name="par", backend=backend, max_workers=2
+            ).run_all(configurations, name_key="_name")
+            for backend in ("serial", "process", "shm")
+        }
+        assert len(per_backend["serial"]) == len(configurations)
+        for backend in ("process", "shm"):
+            for ref_run, run in zip(per_backend["serial"], per_backend[backend]):
+                assert ref_run.name == run.name
+                assert ref_run.series == run.series, (ref_run.name, backend)
+                assert _comparable_metrics(ref_run) == _comparable_metrics(run), (
+                    ref_run.name,
+                    backend,
+                )
+
+    def test_completion_stream_and_spec_order(self, tiny_run_config):
+        seen = []
+        executor = SharedMemoryExecutor(max_workers=2)
+        specs = StudyRunner(base_config=tiny_run_config, study_name="ord").build_specs(GRID)
+        records = executor.execute(specs, on_record=lambda i, r: seen.append(r.name))
+        assert [r.name for r in records] == [s.name for s in specs]
+        assert sorted(seen) == sorted(s.name for s in specs)
+
+    def test_empty_spec_list(self):
+        assert SharedMemoryExecutor(max_workers=2).execute([]) == []
+
+    def test_oversized_series_fall_back_to_pickling(self, tiny_run_config):
+        serial = StudyRunner(base_config=tiny_run_config, study_name="of").run_all(GRID[:2])
+        specs = StudyRunner(base_config=tiny_run_config, study_name="of").build_specs(GRID[:2])
+        # A 4-float slot cannot hold any real series: every record must take
+        # the pickle fallback — and still be bit-identical.
+        records = SharedMemoryExecutor(max_workers=2, slot_floats=4).execute(specs)
+        for serial_run, shm_run in zip(serial, records):
+            assert serial_run.series == shm_run.series
+            assert _comparable_metrics(serial_run) == _comparable_metrics(shm_run)
+
+    def test_worker_crash_raises_and_leaks_nothing(self, tiny_run_config, monkeypatch):
+        runner = StudyRunner(
+            base_config=tiny_run_config, study_name="crash", backend="shm", max_workers=2
+        )
+        crash_name = runner.run_names(GRID)[1]
+        monkeypatch.setenv(_SHM_CRASH_ENV, crash_name)
+        with pytest.raises(RuntimeError, match="died"):
+            runner.run_all(GRID)
+
+    def test_crashed_study_resumes_to_completion(self, tiny_run_config, monkeypatch, tmp_path):
+        path = tmp_path / "study.jsonl"
+        runner = StudyRunner(
+            base_config=tiny_run_config, study_name="crash", backend="shm", max_workers=2
+        )
+        monkeypatch.setenv(_SHM_CRASH_ENV, runner.run_names(GRID)[2])
+        with pytest.raises(RuntimeError):
+            runner.run_all(GRID, checkpoint=path)
+        monkeypatch.delenv(_SHM_CRASH_ENV)
+        results = StudyRunner(
+            base_config=tiny_run_config, study_name="crash", backend="shm", max_workers=2
+        ).run_all(GRID, resume=path)
+        assert len(results) == len(GRID)
+        reference = StudyRunner(base_config=tiny_run_config, study_name="crash").run_all(GRID)
+        for resumed_run, reference_run in zip(results, reference):
+            assert resumed_run.series == reference_run.series
+            assert _comparable_metrics(resumed_run) == _comparable_metrics(reference_run)
+
+    def test_failing_run_reports_worker_traceback(self, tiny_run_config):
+        # An unknown activation passes config validation but fails inside the
+        # worker when the surrogate is built — the error path proper.
+        spec = RunSpec(
+            name="bad",
+            config=tiny_run_config.to_dict(),
+            overrides={"activation": "no-such-activation"},
+        )
+        with pytest.raises(RuntimeError, match="bad"):
+            SharedMemoryExecutor(max_workers=1).execute([spec])
+
+    def test_resume_with_shm_backend(self, tiny_run_config, tmp_path):
+        path = tmp_path / "study.jsonl"
+        StudyRunner(base_config=tiny_run_config, study_name="res").run_all(GRID[:3], checkpoint=path)
+        results = StudyRunner(
+            base_config=tiny_run_config, study_name="res", backend="shm", max_workers=2
+        ).run_all(GRID, resume=path)
+        assert len(results) == len(GRID)
 
 
 class TestRunNames:

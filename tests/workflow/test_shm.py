@@ -1,0 +1,318 @@
+"""Shared-memory pool/inputs/ring lifecycle tests (incl. crash + leak paths)."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.surrogate.validation import ValidationSet
+from repro.workflow.shm import (
+    SHM_NAME_PREFIX,
+    SharedArrayPool,
+    SharedResultRing,
+    SharedStudyInputs,
+    orphaned_segments,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must leave /dev/shm exactly as clean as it found it."""
+    before = set(orphaned_segments())
+    yield
+    leaked = set(orphaned_segments()) - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def _example_arrays() -> dict:
+    rng = np.random.default_rng(7)
+    return {
+        "a": rng.standard_normal((4, 5)),
+        "b": np.arange(12, dtype=np.int64).reshape(3, 4),
+        "c": rng.random(1),
+    }
+
+
+class TestSharedArrayPool:
+    def test_put_get_roundtrip_bit_identical(self):
+        pool = SharedArrayPool()
+        try:
+            arrays = _example_arrays()
+            for key, array in arrays.items():
+                ref = pool.put(key, array)
+                assert ref.block.startswith(SHM_NAME_PREFIX)
+                assert ref.shape == array.shape
+            for key, array in arrays.items():
+                view = pool.get(key)
+                assert view.dtype == array.dtype
+                np.testing.assert_array_equal(view, array)
+        finally:
+            pool.unlink()
+
+    def test_views_are_read_only_by_default(self):
+        pool = SharedArrayPool()
+        try:
+            pool.put("x", np.zeros(3))
+            view = pool.get("x")
+            with pytest.raises(ValueError):
+                view[0] = 1.0
+            writable = pool.get("x", writable=True)
+            writable[0] = 1.0
+            assert pool.get("x")[0] == 1.0
+        finally:
+            pool.unlink()
+
+    def test_attach_sees_owner_data_zero_copy(self):
+        pool = SharedArrayPool()
+        try:
+            source = np.arange(6, dtype=np.float64)
+            pool.put("x", source)
+            attached = SharedArrayPool.attach(pool.manifest())
+            try:
+                np.testing.assert_array_equal(attached.get("x"), source)
+                # In-place writes through one pool are visible in the other
+                # (same physical pages — that is the zero-copy contract).
+                pool.get("x", writable=True)[0] = 42.0
+                assert attached.get("x")[0] == 42.0
+            finally:
+                attached.close()
+        finally:
+            pool.unlink()
+
+    def test_manifest_carries_refcounts(self):
+        pool = SharedArrayPool()
+        try:
+            pool.put("x", np.zeros(2))
+            manifest = pool.manifest()
+            (entry,) = manifest["arrays"]
+            assert entry["refcount"] == 1
+            assert pool.refcount("x") == 1
+            attached = SharedArrayPool.attach(manifest)
+            assert attached.refcount("x") == 0  # nothing mapped yet
+            attached.get("x")
+            assert attached.refcount("x") == 1
+            attached.close()
+            assert attached.refcount("x") == 0
+        finally:
+            pool.unlink()
+
+    def test_double_close_and_double_unlink_are_noops(self):
+        pool = SharedArrayPool()
+        pool.put("x", np.zeros(2))
+        pool.close()
+        pool.close()
+        pool.unlink()
+        pool.unlink()
+        assert orphaned_segments() == []
+
+    def test_closed_pool_rejects_use(self):
+        pool = SharedArrayPool()
+        pool.put("x", np.zeros(2))
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.get("x")
+        with pytest.raises(RuntimeError):
+            pool.put("y", np.zeros(2))
+        pool.unlink()
+
+    def test_attached_pool_cannot_put_or_unlink(self):
+        pool = SharedArrayPool()
+        try:
+            pool.put("x", np.zeros(2))
+            attached = SharedArrayPool.attach(pool.manifest())
+            with pytest.raises(RuntimeError):
+                attached.put("y", np.zeros(2))
+            with pytest.raises(RuntimeError):
+                attached.unlink()
+            attached.close()
+        finally:
+            pool.unlink()
+
+    def test_duplicate_key_rejected(self):
+        pool = SharedArrayPool()
+        try:
+            pool.put("x", np.zeros(2))
+            with pytest.raises(KeyError):
+                pool.put("x", np.ones(2))
+        finally:
+            pool.unlink()
+
+    def test_context_manager_owner_unlinks(self):
+        with SharedArrayPool() as pool:
+            pool.put("x", np.zeros(8))
+            name = pool.manifest()["arrays"][0]["block"]
+            assert name in orphaned_segments()
+        assert orphaned_segments() == []
+
+    def test_context_manager_attachment_only_closes(self):
+        with SharedArrayPool() as pool:
+            pool.put("x", np.arange(3, dtype=np.float64))
+            with SharedArrayPool.attach(pool.manifest()) as attached:
+                np.testing.assert_array_equal(attached.get("x"), np.arange(3))
+            # The attachment exiting must not have destroyed the segment.
+            np.testing.assert_array_equal(pool.get("x"), np.arange(3))
+        assert orphaned_segments() == []
+
+
+def _crashing_attacher(manifest):  # pragma: no cover - runs in a child process
+    pool = SharedArrayPool.attach(manifest)
+    pool.get("x")
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestCrashSafety:
+    def test_owner_cleans_up_after_attached_worker_crash(self):
+        pool = SharedArrayPool()
+        pool.put("x", np.arange(64, dtype=np.float64))
+        worker = mp.Process(target=_crashing_attacher, args=(pool.manifest(),))
+        worker.start()
+        worker.join(timeout=30)
+        assert worker.exitcode == -signal.SIGKILL
+        # The crash must neither destroy the owner's live segment...
+        np.testing.assert_array_equal(pool.get("x"), np.arange(64))
+        pool.unlink()
+        # ...nor leave anything behind once the owner unlinks.
+        assert orphaned_segments() == []
+
+    def test_attaching_process_does_not_register_with_resource_tracker(self):
+        # A whole pool lifecycle in a fresh interpreter: any resource_tracker
+        # mis-accounting (bpo-39959) surfaces as a KeyError traceback or a
+        # leaked-segment warning on stderr at interpreter shutdown.
+        script = """
+import multiprocessing as mp
+import numpy as np
+from repro.workflow.shm import SharedArrayPool
+
+def attach_and_exit(manifest):
+    pool = SharedArrayPool.attach(manifest)
+    assert pool.get("x").sum() == 10.0
+    pool.close()
+
+if __name__ == "__main__":
+    pool = SharedArrayPool()
+    pool.put("x", np.array([1.0, 2.0, 3.0, 4.0]))
+    worker = mp.Process(target=attach_and_exit, args=(pool.manifest(),))
+    worker.start()
+    worker.join(timeout=30)
+    assert worker.exitcode == 0
+    pool.unlink()
+"""
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=str(os.path.dirname(os.path.dirname(os.path.dirname(__file__)))),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "resource_tracker" not in result.stderr, result.stderr
+        assert "leaked" not in result.stderr, result.stderr
+        assert orphaned_segments() == []
+
+
+def _tiny_validation_set(seed: int) -> ValidationSet:
+    rng = np.random.default_rng(seed)
+    return ValidationSet(
+        inputs=rng.random((12, 6)),
+        targets=rng.random((12, 36)),
+        parameters=rng.random((3, 5)),
+        n_trajectories=3,
+        n_timesteps=4,
+    )
+
+
+class TestSharedStudyInputs:
+    def test_build_attach_roundtrip(self):
+        original = _tiny_validation_set(0)
+        shared = SharedStudyInputs.build([(("scenario", 1), original)])
+        try:
+            attached = SharedStudyInputs.attach(shared.manifest())
+            try:
+                assert ("scenario", 1) in attached
+                clone = attached.validation_set(("scenario", 1))
+                np.testing.assert_array_equal(clone.inputs, original.inputs)
+                np.testing.assert_array_equal(clone.targets, original.targets)
+                np.testing.assert_array_equal(clone.parameters, original.parameters)
+                assert clone.n_trajectories == original.n_trajectories
+                assert clone.n_timesteps == original.n_timesteps
+            finally:
+                attached.close()
+        finally:
+            shared.unlink()
+
+    def test_disabled_validation_is_recorded_as_none(self):
+        shared = SharedStudyInputs.build([("k", None)])
+        try:
+            attached = SharedStudyInputs.attach(shared.manifest())
+            assert "k" in attached
+            assert attached.validation_set("k") is None
+            attached.close()
+        finally:
+            shared.unlink()
+
+    def test_unknown_scenario_raises_key_error(self):
+        shared = SharedStudyInputs.build([("k", None)])
+        try:
+            with pytest.raises(KeyError):
+                shared.validation_set("other")
+        finally:
+            shared.unlink()
+
+
+class TestSharedResultRing:
+    def test_write_read_roundtrip_bit_identical(self):
+        rng = np.random.default_rng(3)
+        series = {
+            "train_losses": rng.standard_normal(17),
+            "validation_losses": rng.standard_normal(5),
+            "empty": np.zeros(0),
+        }
+        ring = SharedResultRing(n_slots=2, slot_floats=64)
+        try:
+            layout = ring.try_write(1, series)
+            assert layout is not None
+            read = ring.read(1, layout)
+            assert set(read) == set(series)
+            for key, values in series.items():
+                assert read[key] == values.tolist()  # bit-exact float64 round trip
+        finally:
+            ring.unlink()
+
+    def test_overflow_returns_none(self):
+        ring = SharedResultRing(n_slots=1, slot_floats=4)
+        try:
+            assert ring.try_write(0, {"too_big": np.zeros(5)}) is None
+            assert ring.try_write(0, {"fits": np.zeros(4)}) is not None
+        finally:
+            ring.unlink()
+
+    def test_slot_out_of_range(self):
+        ring = SharedResultRing(n_slots=2, slot_floats=4)
+        try:
+            with pytest.raises(IndexError):
+                ring.try_write(2, {"x": np.zeros(1)})
+        finally:
+            ring.unlink()
+
+    def test_attach_reads_worker_written_slots(self):
+        ring = SharedResultRing(n_slots=2, slot_floats=8)
+        try:
+            attached = SharedResultRing.attach(ring.manifest())
+            layout = attached.try_write(0, {"x": np.array([1.5, 2.5])})
+            attached.close()
+            assert ring.read(0, layout) == {"x": [1.5, 2.5]}
+        finally:
+            ring.unlink()
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SharedResultRing(n_slots=0, slot_floats=4)
+        with pytest.raises(ValueError):
+            SharedResultRing(n_slots=1, slot_floats=0)
