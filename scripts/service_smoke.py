@@ -66,7 +66,13 @@ def configurations():
 
 
 def comparable_runs(runs: list) -> list:
-    """Run payloads with the wall-clock timing metrics stripped."""
+    """Run payloads with measurement-only fields stripped.
+
+    Wall-clock timing metrics and telemetry counter deltas are observation,
+    not results: the service enables ``repro.telemetry`` while the in-process
+    reference runs dark, and the bit-identity contract covers everything
+    else.
+    """
     from repro.workflow.executor import TIMING_METRICS
 
     stripped = []
@@ -75,8 +81,28 @@ def comparable_runs(runs: list) -> list:
         run["metrics"] = {
             k: v for k, v in run["metrics"].items() if k not in TIMING_METRICS
         }
+        run.pop("telemetry", None)
         stripped.append(run)
     return stripped
+
+
+def scrape_metrics(url: str) -> str:
+    """Fetch and validate the Prometheus exposition from a live server."""
+    from repro.service import ServiceClient
+
+    text = ServiceClient(url, timeout=30.0).metrics()
+    if not text.strip():
+        raise SystemExit("FAIL: /v1/metrics served an empty exposition")
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.partition(" ")
+        if not name or not value:
+            raise SystemExit(f"FAIL: malformed exposition line {line!r}")
+        float(value)  # every sample value must parse as a number
+    if "repro_service_uptime_seconds" not in text:
+        raise SystemExit("FAIL: exposition lacks the service gauges")
+    return text
 
 
 def run_reference() -> list:
@@ -185,11 +211,21 @@ def drive(workdir: Path, backend: str = "serial") -> int:
     proc = start_server(root)
     url = discover_url(root, proc)
     client = ServiceClient(url, timeout=120.0)
+    # Mid-job observability check: the resumed job is live right now, so the
+    # scrape must serve a well-formed exposition including study counters.
+    exposition = scrape_metrics(url)
+    (workdir / "metrics_midjob.txt").write_text(exposition)
+    print(f"      /v1/metrics exposition well-formed mid-job "
+          f"({len(exposition.splitlines())} lines; saved to metrics_midjob.txt)")
     final = client.wait(job["id"], timeout=600.0)
     if final["state"] != "done":
         print(f"FAIL: job ended {final['state']!r}: {final['error']}")
         return 1
     served = client.result(job["id"])["runs"]
+    job_metrics = client.job(job["id"])["metrics"]
+    if not job_metrics.get("repro_session_ticks_total"):
+        print("FAIL: finished job carries no merged per-run telemetry counters")
+        return 1
 
     lines = (root / "jobs" / job["id"] / "runs.jsonl").read_text().splitlines()
     if len(lines) != N_RUNS:

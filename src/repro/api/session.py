@@ -37,6 +37,7 @@ from typing import Callable, Deque, Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.api.config import OnlineTrainingConfig
 from repro.api.workloads import Workload
 from repro.breed.controller import BreedController, SteeringRecord
@@ -215,6 +216,22 @@ class TrainingSession:
         self._finalized = False
         self._checkpoint_policy = None  # attached lazily by run()
 
+        # --- telemetry (observation only: no-ops unless enabled) -----------
+        self._tracer = telemetry.tracer()
+        registry = telemetry.metrics()
+        self._m_ticks = registry.counter(
+            "repro_session_ticks_total", help="submit→produce→receive→train rounds driven"
+        )
+        self._m_train_iters = registry.counter(
+            "repro_session_train_iterations_total", help="NN training iterations completed"
+        )
+        self._m_steering = registry.counter(
+            "repro_session_steering_total", help="Breed steering decisions applied"
+        )
+        self._m_validations = registry.counter(
+            "repro_session_validations_total", help="validation evaluations performed"
+        )
+
         # --- hooks ----------------------------------------------------------
         #: called after every completed tick with the session
         self.on_tick: List[TickHook] = []
@@ -290,6 +307,9 @@ class TrainingSession:
         losses: List[float] = []
         if not self.server.ready:
             return losses
+        iters_before = self.server.iteration
+        validations_before = len(self.server.history.validation_losses)
+        steerings_before = len(self.controller.records)
         for _ in range(self.config.train_iterations_per_tick):
             if self.server.iteration >= self.config.max_iterations:
                 break
@@ -302,6 +322,16 @@ class TrainingSession:
                 self._fire_validation(n_validation)
             if self.on_steering:
                 self._fire_steering(n_steering)
+        # Counter mirrors as end-of-phase deltas: one float add per series
+        # per tick instead of per iteration.
+        if self.server.iteration > iters_before:
+            self._m_train_iters.inc(self.server.iteration - iters_before)
+        new_validations = len(self.server.history.validation_losses) - validations_before
+        if new_validations:
+            self._m_validations.inc(new_validations)
+        new_steerings = len(self.controller.records) - steerings_before
+        if new_steerings:
+            self._m_steering.inc(new_steerings)
         return losses
 
     def should_stop(self) -> bool:
@@ -317,12 +347,17 @@ class TrainingSession:
     def tick(self) -> bool:
         """Run one submit→produce→receive→train round; False when done."""
         self.n_ticks += 1
-        self.submit()
-        self.produce()
-        self.receive()
-        self.train()
-        for hook in self.on_tick:
-            hook(self)
+        self._m_ticks.inc()
+        # One span per round keeps tracing inside the ≤2 % overhead budget
+        # (docs/OBSERVABILITY.md); validation/steering/checkpoint events are
+        # emitted at their own seams where they actually happen.
+        with self._tracer.span("session.tick", cat="session"):
+            self.submit()
+            self.produce()
+            self.receive()
+            self.train()
+            for hook in self.on_tick:
+                hook(self)
         return not self.should_stop()
 
     def run(self) -> OnlineTrainingResult:
@@ -337,7 +372,9 @@ class TrainingSession:
                 break
             if not self.tick():
                 break
-        return self.result()
+        result = self.result()
+        self._tracer.flush()
+        return result
 
     def _ensure_checkpoint_policy(self) -> None:
         """Attach the configured periodic snapshot policy (once)."""
@@ -427,9 +464,14 @@ class TrainingSession:
             self._finalized = True
             if self.validation_set is not None:
                 n_validation = len(self.server.history.validation_losses)
-                self.server.evaluate_validation()
+                with self._tracer.span("session.final_validation", cat="session"):
+                    self.server.evaluate_validation()
+                self._m_validations.inc()
                 if self.on_validation:
                     self._fire_validation(n_validation)
+            # Ingest mirrors are draw-time synced; flush the tail so the
+            # registry matches the canonical totals at run completion.
+            self.reservoir.sync_metrics()
         executed_parameters, sources = self.launcher.executed_parameters()
         return OnlineTrainingResult(
             config=self.config,

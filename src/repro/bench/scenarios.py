@@ -11,6 +11,9 @@ Importing this module registers the scenarios (see
 * ``reservoir/*`` — buffer ingest (with eviction) and batch draws,
 * ``checkpoint/*`` — full-session snapshot save and restore,
 * ``session/*`` — a small end-to-end on-line training run,
+* ``telemetry/*`` — the same session body with metrics + tracing fully
+  enabled, so ``--compare`` against ``session/online_smoke`` bounds the
+  observability overhead,
 * ``study/*`` — tiny study throughput through the serial, process and
   shared-memory executor backends, plus validation-heavy throughput and
   worker-scaling comparisons of the parallel backends,
@@ -329,6 +332,35 @@ def _session_online() -> ScenarioRun:
         return int(result.server_summary["iterations"])
 
     return ScenarioRun(fn=fn)
+
+
+# ---------------------------------------------------------------- telemetry
+
+
+@register_scenario(
+    "telemetry/overhead",
+    units="iterations",
+    description="session/online_smoke body with metrics + tracing fully enabled (overhead probe)",
+)
+def _telemetry_overhead() -> ScenarioRun:
+    from repro import telemetry
+    from repro.api.session import TrainingSession
+
+    config = _tiny_session_config()
+    trace_dir = Path(tempfile.mkdtemp(prefix="repro-bench-trace-"))
+    already_on = telemetry.metrics_enabled() or telemetry.tracing_enabled()
+    telemetry.configure(metrics=True, trace_dir=str(trace_dir), process_name="bench telemetry/overhead")
+
+    def fn() -> int:
+        result = TrainingSession(config).run()
+        return int(result.server_summary["iterations"])
+
+    def cleanup() -> None:
+        if not already_on:
+            telemetry.disable()
+        shutil.rmtree(trace_dir, ignore_errors=True)
+
+    return ScenarioRun(fn=fn, cleanup=cleanup)
 
 
 # ---------------------------------------------------------------------- study

@@ -38,12 +38,13 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from repro import __version__
+from repro import __version__, telemetry
 from repro.api.config import OnlineTrainingConfig
 from repro.utils.logging import get_logger
 
@@ -245,6 +246,23 @@ def save_session(
     the same tick is idempotent (the existing snapshot wins — it describes
     the same state).  ``keep`` bounds the number of retained snapshots.
     """
+    start = time.perf_counter()
+    with telemetry.tracer().span("checkpoint.save", cat="checkpoint", tick=session.n_ticks):
+        final = _save_session(session, directory, keep, compressed)
+    registry = telemetry.metrics()
+    registry.counter("repro_checkpoint_saves_total", help="session snapshots written").inc()
+    registry.histogram(
+        "repro_checkpoint_save_seconds", help="snapshot save latency"
+    ).observe(time.perf_counter() - start)
+    return final
+
+
+def _save_session(
+    session: "TrainingSession",
+    directory: str | Path,
+    keep: Optional[int],
+    compressed: bool,
+) -> Path:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     name = f"{_STEP_PREFIX}{session.n_ticks:08d}"
@@ -317,6 +335,24 @@ def restore_session(
     solver / validation_set / event_log:
         Optional pre-built run inputs, exactly as for ``TrainingSession``.
     """
+    start = time.perf_counter()
+    with telemetry.tracer().span("checkpoint.restore", cat="checkpoint"):
+        session = _restore_session(snapshot, config, solver, validation_set, event_log)
+    registry = telemetry.metrics()
+    registry.counter("repro_checkpoint_restores_total", help="session snapshots restored").inc()
+    registry.histogram(
+        "repro_checkpoint_restore_seconds", help="snapshot restore latency"
+    ).observe(time.perf_counter() - start)
+    return session
+
+
+def _restore_session(
+    snapshot: str | Path,
+    config: Optional[OnlineTrainingConfig],
+    solver,
+    validation_set,
+    event_log,
+) -> "TrainingSession":
     from repro.api.session import TrainingSession
 
     snapshot = Path(snapshot)

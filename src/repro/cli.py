@@ -451,6 +451,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fig3a: restrict hidden sizes (repeatable)")
     parser.add_argument("--layers", action="append", type=int, default=None, metavar="L",
                         help="fig3a: restrict layer counts (repeatable)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect repro.telemetry metrics during the experiment and "
+                             "write the Prometheus exposition to "
+                             "<out>/<experiment>_<scale>.metrics.txt")
+    parser.add_argument("--trace", default=None, metavar="DIR",
+                        help="write chrome://tracing-compatible JSONL span traces "
+                             "(trace-<pid>.jsonl per process) under DIR "
+                             "(see docs/OBSERVABILITY.md)")
     return parser
 
 
@@ -461,6 +469,7 @@ def _list_experiments() -> str:
     ]
     rows.append(("bench", "perf", "benchmark harness (see `bench --help` / --list-scenarios)"))
     rows.append(("serve", "service", "long-running study server (see `serve --help` / docs/SERVICE.md)"))
+    rows.append(("doctor", "ops", "diagnose shm/service/checkpoint residue (see `doctor --help`)"))
     return format_table(["experiment", "kind", "description"], rows)
 
 
@@ -476,6 +485,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "serve":
         # Same dispatch pattern for the study service's own flag set.
         return serve_main(argv[1:])
+    if argv and argv[0] == "doctor":
+        from repro.doctor import doctor_main
+
+        return doctor_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
@@ -516,6 +529,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"running serially from scratch ({', '.join(ignored)} ignored)",
                 file=sys.stderr,
             )
+    if args.metrics or args.trace:
+        from repro import telemetry
+
+        telemetry.configure(
+            metrics=True if args.metrics else None,
+            trace_dir=args.trace,
+            process_name=f"repro {experiment.name}",
+        )
     _install_signal_handlers()
     try:
         outcome = experiment.run(args)
@@ -530,6 +551,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if experiment.parallel:
             print(f"resume with: {hint}", file=sys.stderr)
         return 0
+    if args.metrics:
+        from repro import telemetry
+
+        path = _out_dir(args) / f"{experiment.name}_{args.scale}.metrics.txt"
+        path.write_text(telemetry.metrics().render_prometheus())
+        outcome["metrics"] = str(path)
+    if args.trace:
+        from repro import telemetry
+
+        telemetry.tracer().flush()
+        outcome["trace"] = str(args.trace)
     print(json.dumps(outcome))
     return 0
 

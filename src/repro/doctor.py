@@ -1,0 +1,201 @@
+"""``repro doctor`` — environment and artifact health checks.
+
+A read-only diagnostic pass over the operational residue the toolkit can
+leave behind, reported as a plain-text table (and ``--json`` for scripts):
+
+* **shm segments** — leftover ``/dev/shm`` blocks created by the
+  shared-memory executor (:func:`repro.workflow.shm.orphaned_segments`).
+  A crashed parent process (SIGKILL before its cleanup ``finally``) is the
+  only way these survive; they hold real memory until removed.
+* **service roots** — ``server.json`` files advertising study services.
+  Each advertised URL is probed with a short-timeout health request; a root
+  whose server does not answer *and* has no clean ``shutdown.marker`` is
+  reported as a crashed server (its jobs will recover on the next
+  ``repro serve --root <dir>``).
+* **checkpoint usage** — disk consumed by session-snapshot directories
+  (``*.snapshots`` and ``step-*`` trees) under the scanned roots, so
+  oversized retention is visible before the disk fills.
+
+Exit status: 0 when healthy, 1 when something needs attention (orphaned
+segments, or a crashed service root).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["build_doctor_parser", "diagnose", "doctor_main"]
+
+#: health-probe timeout: doctors must not hang on a wedged server
+_PROBE_TIMEOUT_SECONDS = 2.0
+
+
+def _probe_health(url: str, timeout: float = _PROBE_TIMEOUT_SECONDS) -> Optional[Dict[str, Any]]:
+    """The server's health payload, or ``None`` when it does not answer."""
+    try:
+        with urllib.request.urlopen(f"{url}/v1/health", timeout=timeout) as response:
+            return json.loads(response.read().decode())
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def _scan_service_roots(roots: List[Path]) -> List[Dict[str, Any]]:
+    """Inspect every ``server.json`` under the scanned roots (recursive)."""
+    findings: List[Dict[str, Any]] = []
+    seen = set()
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for marker in sorted(root.rglob("server.json")):
+            key = marker.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                advertised = json.loads(marker.read_text())
+            except (json.JSONDecodeError, OSError):
+                findings.append(
+                    {"root": str(marker.parent), "status": "corrupt", "url": None}
+                )
+                continue
+            url = str(advertised.get("url", ""))
+            health = _probe_health(url) if url else None
+            if health is not None:
+                status = "live"
+            elif (marker.parent / "shutdown.marker").exists():
+                status = "stopped"  # clean shutdown; server.json is just stale
+            else:
+                status = "crashed"  # no server, no clean-stop marker
+            findings.append(
+                {
+                    "root": str(marker.parent),
+                    "status": status,
+                    "url": url or None,
+                    "version": advertised.get("version"),
+                }
+            )
+    return findings
+
+
+def _tree_bytes(path: Path) -> int:
+    total = 0
+    for dirpath, _dirnames, filenames in os.walk(path):
+        for name in filenames:
+            try:
+                total += os.path.getsize(os.path.join(dirpath, name))
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+    return total
+
+
+def _scan_checkpoints(roots: List[Path]) -> List[Dict[str, Any]]:
+    """Disk usage of snapshot trees (``*.snapshots`` dirs and ``step-*`` sets)."""
+    findings: List[Dict[str, Any]] = []
+    seen = set()
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for directory in sorted(root.rglob("*.snapshots")):
+            key = directory.resolve()
+            if key in seen or not directory.is_dir():
+                continue
+            seen.add(key)
+            findings.append(
+                {
+                    "directory": str(directory),
+                    "bytes": _tree_bytes(directory),
+                    "snapshots": sum(1 for _ in directory.rglob("step-*")),
+                }
+            )
+    return findings
+
+
+def diagnose(roots: List[Path]) -> Dict[str, Any]:
+    """Run every check; the payload ``doctor_main`` renders and exits on."""
+    from repro.workflow.shm import orphaned_segments
+
+    segments = orphaned_segments()
+    services = _scan_service_roots(roots)
+    checkpoints = _scan_checkpoints(roots)
+    issues: List[str] = []
+    if segments:
+        issues.append(
+            f"{len(segments)} orphaned shm segment(s) hold memory; "
+            f"remove with: rm " + " ".join(f"/dev/shm/{name}" for name in segments)
+        )
+    for service in services:
+        if service["status"] == "crashed":
+            issues.append(
+                f"service root {service['root']} advertises {service['url']} but no "
+                f"server answers and no clean shutdown marker exists; "
+                f"`repro serve --root {service['root']}` recovers its jobs"
+            )
+        elif service["status"] == "corrupt":
+            issues.append(f"service root {service['root']} has an unreadable server.json")
+    return {
+        "orphaned_shm_segments": segments,
+        "service_roots": services,
+        "checkpoint_usage": checkpoints,
+        "issues": issues,
+        "healthy": not issues,
+    }
+
+
+def build_doctor_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro doctor",
+        description="Diagnose operational residue: orphaned shared-memory "
+                    "segments, stale/crashed service roots, and checkpoint "
+                    "disk usage.  Read-only; exit 1 when attention is needed.",
+    )
+    parser.add_argument(
+        "roots", nargs="*", default=None, metavar="DIR",
+        help="directories to scan for server.json files and snapshot trees "
+             "(default: ., results/, service/)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the findings as JSON")
+    return parser
+
+
+def doctor_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.cli doctor``."""
+    from repro.analysis.report import format_table
+
+    args = build_doctor_parser().parse_args(argv)
+    roots = [Path(r) for r in (args.roots or [".", "results", "service"])]
+    report = diagnose(roots)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0 if report["healthy"] else 1
+
+    segments = report["orphaned_shm_segments"]
+    print(f"shm segments: {len(segments)} orphaned")
+    for name in segments:
+        print(f"  /dev/shm/{name}")
+    if report["service_roots"]:
+        print(format_table(
+            ["service root", "status", "url"],
+            [(s["root"], s["status"], s["url"] or "-") for s in report["service_roots"]],
+        ))
+    else:
+        print("service roots: none found")
+    if report["checkpoint_usage"]:
+        print(format_table(
+            ["checkpoint directory", "snapshots", "MiB"],
+            [
+                (c["directory"], str(c["snapshots"]), f"{c['bytes'] / 2**20:.2f}")
+                for c in report["checkpoint_usage"]
+            ],
+        ))
+    else:
+        print("checkpoint snapshots: none found")
+    for issue in report["issues"]:
+        print(f"ISSUE: {issue}")
+    print("healthy" if report["healthy"] else "attention needed")
+    return 0 if report["healthy"] else 1

@@ -15,6 +15,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.melissa.messages import SimulationFinished, TimeStepMessage
 from repro.solvers.base import Solver
 
@@ -33,6 +34,9 @@ class SolverClient:
         self.finished = False
         #: number of time steps produced so far
         self.n_produced = 0
+        self._m_steps = telemetry.metrics().counter(
+            "repro_solver_steps_total", help="solver time steps produced by clients"
+        )
 
     def _ensure_started(self) -> None:
         if self._iterator is None:
@@ -68,6 +72,8 @@ class SolverClient:
             )
             self._next_timestep += 1
             self.n_produced += 1
+        if messages:
+            self._m_steps.inc(len(messages))
         return messages
 
     # ---------------------------------------------------------------- state

@@ -29,6 +29,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = ["ReservoirEntry", "ReservoirBatch", "Reservoir"]
 
 
@@ -97,6 +99,30 @@ class Reservoir:
         self.n_rejected = 0
         self.n_evicted = 0
         self.n_batches = 0
+        # --- telemetry mirrors (observation only; no-ops unless enabled)
+        # put() runs once per sample, so the ingest/reject/evict mirrors are
+        # synced as deltas of the canonical totals at draw time rather than
+        # incremented inline (sync_metrics), keeping the per-sample path free
+        # of telemetry calls entirely.
+        registry = telemetry.metrics()
+        self._m_ingest = registry.counter(
+            "repro_reservoir_ingest_total", help="samples offered to the reservoir"
+        )
+        self._m_rejected = registry.counter(
+            "repro_reservoir_rejected_total", help="samples rejected (back-pressure)"
+        )
+        self._m_evicted = registry.counter(
+            "repro_reservoir_evicted_total", help="entries replaced by reservoir sampling"
+        )
+        self._synced_received = 0
+        self._synced_rejected = 0
+        self._synced_evicted = 0
+        self._m_draws = registry.counter(
+            "repro_reservoir_draws_total", help="training batches drawn"
+        )
+        self._m_drawn_samples = registry.counter(
+            "repro_reservoir_drawn_samples_total", help="samples gathered into training batches"
+        )
 
     # --------------------------------------------------------------- queries
     def __len__(self) -> int:
@@ -211,7 +237,27 @@ class Reservoir:
         # Indices are unique (replace=False), so a vectorised += is exact.
         self._seen[indices] += 1
         self.n_batches += 1
+        self._m_draws.inc()
+        self._m_drawn_samples.inc(take)
+        self.sync_metrics()
         return ReservoirBatch(inputs=xs, targets=ys, simulation_ids=sim_ids, timesteps=steps)
+
+    def sync_metrics(self) -> None:
+        """Push the ingest/reject/evict totals into the telemetry mirrors.
+
+        Called after every batch draw (and by the session on completion), so
+        the registry converges on the canonical totals without a telemetry
+        call in the per-sample ``put`` path.
+        """
+        if self.n_received != self._synced_received:
+            self._m_ingest.inc(self.n_received - self._synced_received)
+            self._synced_received = self.n_received
+        if self.n_rejected != self._synced_rejected:
+            self._m_rejected.inc(self.n_rejected - self._synced_rejected)
+            self._synced_rejected = self.n_rejected
+        if self.n_evicted != self._synced_evicted:
+            self._m_evicted.inc(self.n_evicted - self._synced_evicted)
+            self._synced_evicted = self.n_evicted
 
     # ---------------------------------------------------------------- state
     def state_dict(self) -> dict:

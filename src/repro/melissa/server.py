@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro import nn
+from repro import nn, telemetry
 from repro.breed.controller import BreedController
 from repro.melissa.launcher import Launcher
 from repro.melissa.messages import TimeStepMessage
@@ -153,6 +153,7 @@ class TrainingServer:
         self.timers = TimerRegistry()
         self.iteration = 0
         self.n_samples_received = 0
+        self._tracer = telemetry.tracer()
 
     # ---------------------------------------------------------------- receive
     def receive(self, message: TimeStepMessage) -> bool:
@@ -205,7 +206,9 @@ class TrainingServer:
 
         # Periodic validation.
         if self.validation_set is not None and self.iteration % self.validation_period == 0:
-            with self.timers.span("validation"):
+            with self.timers.span("validation"), self._tracer.span(
+                "server.validation", cat="validation"
+            ):
                 val = validation_loss(self.model, self.validation_set)
             self.history.validation_losses.append(val)
             self.history.validation_iterations.append(self.iteration)
@@ -214,7 +217,10 @@ class TrainingServer:
 
         # Steering trigger (no-op for the Random baseline).
         if launcher is not None:
+            n_steer = self.controller.n_steering_events
             self.controller.maybe_steer(self.iteration, launcher)
+            if self.controller.n_steering_events != n_steer:
+                self._tracer.instant("server.steering", cat="steering", iteration=self.iteration)
         return loss_value
 
     def _optimize(self, batch: ReservoirBatch) -> Tuple[float, np.ndarray]:

@@ -13,7 +13,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, List, Optional, Sequence
 
+from repro import telemetry
 from repro.melissa.messages import Message, TimeStepMessage
+from repro.telemetry import NULL_COUNTER
 
 __all__ = ["Channel", "InProcessTransport", "TransportStats"]
 
@@ -24,6 +26,14 @@ class TransportStats:
 
     ``n_dropped`` counts messages a bounded channel *rejected* (``put``
     returned ``False``), making back-pressure observable in overhead reports.
+
+    The plain integer counters are the canonical record — they are what the
+    session snapshots and the overhead experiment read, and their
+    ``state_dict`` layout is frozen.  When :mod:`repro.telemetry` metrics
+    are enabled, :meth:`bind_metrics` additionally mirrors every update into
+    registry-backed, channel-labelled counters so live transport volume is
+    scrapeable (``repro_transport_messages_total{channel="data"}`` …)
+    without touching the canonical totals.
     """
 
     n_messages: int = 0
@@ -31,10 +41,31 @@ class TransportStats:
     max_depth: int = 0
     n_dropped: int = 0
 
+    # Telemetry mirrors (not dataclass fields: never pickled/serialized,
+    # never part of the state_dict layout).  Null objects until bound.
+    _m_messages = NULL_COUNTER
+    _m_bytes = NULL_COUNTER
+    _m_dropped = NULL_COUNTER
+
+    def bind_metrics(self, channel: str) -> None:
+        """Mirror this channel's counters into the telemetry registry."""
+        registry = telemetry.metrics()
+        self._m_messages = registry.counter(
+            "repro_transport_messages_total", help="messages accounted per channel"
+        ).labels(channel=channel)
+        self._m_bytes = registry.counter(
+            "repro_transport_bytes_total", help="payload bytes accounted per channel"
+        ).labels(channel=channel)
+        self._m_dropped = registry.counter(
+            "repro_transport_dropped_total", help="messages rejected by bounded channels"
+        ).labels(channel=channel)
+
     def record(self, message: Message, depth: int) -> None:
         self.n_messages += 1
+        self._m_messages.inc()
         if isinstance(message, TimeStepMessage):
             self.n_bytes += message.nbytes
+            self._m_bytes.inc(message.nbytes)
         self.max_depth = max(self.max_depth, depth)
 
     def record_batch(self, messages: Sequence[Message], depth: int) -> None:
@@ -46,15 +77,19 @@ class TransportStats:
         """
         if not messages:
             return
-        self.n_messages += len(messages)
-        self.n_bytes += sum(
+        n_bytes = sum(
             message.nbytes for message in messages if isinstance(message, TimeStepMessage)
         )
+        self.n_messages += len(messages)
+        self.n_bytes += n_bytes
+        self._m_messages.inc(len(messages))
+        self._m_bytes.inc(n_bytes)
         if depth > self.max_depth:
             self.max_depth = depth
 
     def record_drop(self) -> None:
         self.n_dropped += 1
+        self._m_dropped.inc()
 
 
 class Channel:
@@ -70,6 +105,8 @@ class Channel:
         self.maxsize = maxsize
         self._queue: Deque[Message] = deque()
         self.stats = TransportStats()
+        if telemetry.metrics_enabled():
+            self.stats.bind_metrics(name)
 
     def put(self, message: Message) -> bool:
         if self.maxsize and len(self._queue) >= self.maxsize:

@@ -69,7 +69,18 @@ class ServiceClient:
 
     # ------------------------------------------------------------ endpoints
     def health(self) -> Dict[str, Any]:
+        """Server liveness: ``status``, ``version``, ``uptime_s``,
+        ``queue_depth``, worker count and per-state job counters."""
         return self._request("GET", "/v1/health")
+
+    def metrics(self) -> str:
+        """The server's ``/v1/metrics`` Prometheus text exposition, raw."""
+        request = urllib.request.Request(self.base_url + "/v1/metrics")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode()
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, self._error_message(exc)) from exc
 
     def submit(
         self,

@@ -46,7 +46,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro import __version__
+from repro import __version__, telemetry
 from repro.service.schemas import (
     TERMINAL_EVENTS,
     SubmissionError,
@@ -110,6 +110,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if path == "/v1/health":
                 return self._send_json(self.service.health())
+            if path == "/v1/metrics":
+                return self._send_metrics()
             if path == "/v1/jobs":
                 return self._send_json(
                     {"jobs": [r.to_dict() for r in self.service.store.list()]}
@@ -120,7 +122,9 @@ class _Handler(BaseHTTPRequestHandler):
                 job_id = parts[3]
                 tail = parts[4] if len(parts) > 4 else ""
                 if tail == "":
-                    return self._send_json(self.service.store.get(job_id).to_dict())
+                    payload = self.service.store.get(job_id).to_dict()
+                    payload["metrics"] = self.service.store.read_metrics(job_id)
+                    return self._send_json(payload)
                 if tail == "events":
                     since = int(query.get("since", -1))
                     events = self.service.store.events(job_id, since=since)
@@ -155,6 +159,15 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send_error_json(str(exc), 400)
 
     # ------------------------------------------------------------ endpoints
+    def _send_metrics(self) -> None:
+        """Prometheus text exposition of the process-wide registry."""
+        body = self.service.metrics_text().encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _result(self, job_id: str) -> None:
         record = self.service.store.get(job_id)
         if record.state != "done":
@@ -216,12 +229,17 @@ class StudyService:
         port: int = 0,
         n_workers: int = 1,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        enable_metrics: bool = True,
     ) -> None:
         self.root = Path(root)
+        #: switch telemetry metrics on at start() so /v1/metrics is live and
+        #: per-run counter deltas flow into job metrics snapshots
+        self.enable_metrics = enable_metrics
         self.store = JobStore(self.root)
         self.pool = WorkerPool(self.store, n_workers=n_workers, checkpoint_every=checkpoint_every)
         self.stopping = threading.Event()
         self._started_at: Optional[float] = None
+        self._owns_metrics = False
 
         handler = type("BoundHandler", (_Handler,), {"service": self})
         self.httpd = ThreadingHTTPServer((host, port), handler)
@@ -245,6 +263,12 @@ class StudyService:
         marker = self.root / SHUTDOWN_MARKER
         if marker.exists():
             marker.unlink()
+        if self.enable_metrics and not telemetry.metrics_enabled():
+            # export_env=True (the default) so executor worker *processes*
+            # (process/shm backends) inherit the switch and attribute per-run
+            # counters; stop() undoes exactly what this enabled.
+            telemetry.configure(metrics=True)
+            self._owns_metrics = True
         recovered = self.store.recover()
         self._started_at = time.time()
         # server.json advertises the bound address so out-of-process tooling
@@ -279,6 +303,9 @@ class StudyService:
         self.httpd.shutdown()
         self.httpd.server_close()
         self.pool.stop(timeout=timeout)
+        if self._owns_metrics:
+            telemetry.configure(metrics=False)
+            self._owns_metrics = False
         _atomic_write_text(
             self.root / SHUTDOWN_MARKER,
             json.dumps({"stopped_at": time.time(), "clean": True}) + "\n",
@@ -296,6 +323,7 @@ class StudyService:
         by_state: Dict[str, int] = {}
         for record in records:
             by_state[record.state] = by_state.get(record.state, 0) + 1
+        uptime = 0.0 if self._started_at is None else time.time() - self._started_at
         return {
             "status": "stopping" if self.stopping.is_set() else "ok",
             "version": __version__,
@@ -303,5 +331,31 @@ class StudyService:
             "root": str(self.root),
             "workers": len(self.pool.workers),
             "jobs": {"total": len(records), **by_state},
-            "uptime_seconds": 0.0 if self._started_at is None else time.time() - self._started_at,
+            "uptime_seconds": uptime,
+            "uptime_s": uptime,
+            "queue_depth": by_state.get("queued", 0),
         }
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text form, service gauges refreshed.
+
+        Queue/uptime gauges are point-in-time observations set at scrape
+        time; everything else in the registry (session, reservoir, transport,
+        checkpoint series) accumulates as the in-process workers run studies.
+        """
+        registry = telemetry.metrics()
+        health = self.health()
+        registry.gauge(
+            "repro_service_uptime_seconds", help="seconds since the service started"
+        ).set(health["uptime_s"])
+        registry.gauge(
+            "repro_service_queue_depth", help="jobs waiting in the queue"
+        ).set(health["queue_depth"])
+        registry.gauge(
+            "repro_service_workers", help="worker threads draining the queue"
+        ).set(health["workers"])
+        jobs_gauge = registry.gauge("repro_service_jobs", help="jobs by state")
+        for state, count in health["jobs"].items():
+            if state != "total":
+                jobs_gauge.labels(state=state).set(count)
+        return registry.render_prometheus()

@@ -139,6 +139,30 @@ class JobStore:
     def progress_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "progress.jsonl"
 
+    def metrics_path(self, job_id: str) -> Path:
+        """The job's telemetry snapshot (merged per-run counter deltas)."""
+        return self.job_dir(job_id) / "metrics.json"
+
+    # ------------------------------------------------------------ telemetry
+    def write_metrics(self, job_id: str, metrics: Dict[str, float]) -> None:
+        """Atomically persist a job's merged telemetry counters.
+
+        Written after every completed run, so ``GET /v1/jobs/<id>`` serves a
+        live mid-job snapshot; observation only, never read back by the
+        worker.
+        """
+        _atomic_write_text(self.metrics_path(job_id), json.dumps(metrics, indent=2, sort_keys=True))
+
+    def read_metrics(self, job_id: str) -> Dict[str, float]:
+        """The job's latest telemetry snapshot (empty when never written)."""
+        path = self.metrics_path(job_id)
+        if not path.exists():
+            return {}
+        try:
+            return {str(k): float(v) for k, v in json.loads(path.read_text()).items()}
+        except (json.JSONDecodeError, TypeError, ValueError):
+            return {}
+
     # ------------------------------------------------------------ records
     def _record_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / "job.json"

@@ -73,6 +73,9 @@ class Worker(threading.Thread):
         self.stop_event = stop_event
         self.checkpoint_every = checkpoint_every
         self.poll_seconds = poll_seconds
+        #: merged telemetry counters of the job currently executing (a worker
+        #: runs one job at a time; reset per claim)
+        self._job_telemetry: dict = {}
 
     # ---------------------------------------------------------------- loop
     def run(self) -> None:  # pragma: no cover - exercised via live services
@@ -90,6 +93,7 @@ class Worker(threading.Thread):
     def execute(self, record: JobRecord) -> None:
         """Run one claimed job to a terminal (or re-queued) state."""
         job_id = record.id
+        self._job_telemetry = {}
         try:
             if self.store.cancel_requested(job_id):
                 raise JobCancelled(job_id)
@@ -135,6 +139,14 @@ class Worker(threading.Thread):
         """
         metrics = {k: run.metrics[k] for k in _EVENT_METRICS if k in run.metrics}
         self.store.record_run_finished(job_id, run.name, metrics)
+        if run.telemetry:
+            # Live mid-job snapshot: merge this run's counter deltas and
+            # persist, so GET /v1/jobs/<id> shows telemetry while running.
+            for key, value in run.telemetry.items():
+                if key.startswith("_"):
+                    continue
+                self._job_telemetry[key] = self._job_telemetry.get(key, 0.0) + float(value)
+            self.store.write_metrics(job_id, self._job_telemetry)
         if self.stop_event.is_set():
             raise ServiceShutdown(job_id)
         if self.store.cancel_requested(job_id):
@@ -147,6 +159,11 @@ class Worker(threading.Thread):
 
         payload = {"study": results.study, "runs": [run.to_dict() for run in results.runs]}
         _atomic_write_text(self.store.result_path(job_id), json.dumps(payload, indent=2))
+        # The spec-order merge over the *complete* run list also covers runs
+        # resumed from runs.jsonl in earlier attempts.
+        merged = results.telemetry_summary()
+        if merged:
+            self.store.write_metrics(job_id, merged)
 
 
 class WorkerPool:

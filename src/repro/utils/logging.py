@@ -13,12 +13,32 @@ import logging as _stdlib_logging
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["EventLog", "LogRecord", "get_logger"]
+__all__ = ["EventLog", "LogRecord", "format_record", "get_logger"]
 
 
 def get_logger(name: str) -> _stdlib_logging.Logger:
     """Return a namespaced stdlib logger (``repro.<name>``)."""
     return _stdlib_logging.getLogger(f"repro.{name}")
+
+
+def format_record(record: "LogRecord") -> str:
+    """Render one structured event as a stable, grep-friendly line.
+
+    ``[source] event step=N key=value …`` — floats in shortest-repr form,
+    payload keys in insertion order, ``step=`` omitted when unset.  This is
+    the single human-readable rendering of a :class:`LogRecord`; the echo
+    path and any log-file writer share it, so a format change cannot fork
+    the two.
+    """
+    parts = [f"[{record.source}]", record.event]
+    if record.step is not None:
+        parts.append(f"step={record.step}")
+    for key, value in record.payload.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value!r}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
 
 
 @dataclass
@@ -45,8 +65,8 @@ class EventLog:
     def emit(self, source: str, event: str, step: Optional[int] = None, **payload: Any) -> LogRecord:
         record = LogRecord(source=source, event=event, payload=dict(payload), step=step)
         self._records.append(record)
-        if self._echo:  # pragma: no cover - cosmetic
-            self._logger.info("[%s] %s step=%s %s", source, event, step, payload)
+        if self._echo:
+            self._logger.info("%s", format_record(record))
         return record
 
     def __len__(self) -> int:

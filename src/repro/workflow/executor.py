@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tupl
 
 import numpy as np
 
+from repro import telemetry
 from repro.api.config import OnlineTrainingConfig
 from repro.api.session import OnlineTrainingResult
 from repro.breed.samplers import BreedConfig
@@ -224,7 +225,14 @@ def execute_spec(
     config = spec.build_config()
     solver, validation = (cache if cache is not None else StudyInputCache()).inputs(config)
     timer = Timer(name=spec.name)
-    with timer.span():
+    # Per-run telemetry attribution: counter snapshots around the run turn the
+    # process-wide registry into per-run increments (workers run specs
+    # sequentially, so every increment between the snapshots belongs to this
+    # run).  Purely observational — absent entirely when metrics are off.
+    metrics_on = telemetry.metrics_enabled()
+    counters_before = telemetry.metrics().counter_values() if metrics_on else {}
+    tracer = telemetry.tracer()
+    with timer.span(), tracer.span("study.run", cat="study", run=spec.name):
         if config.checkpoint_dir:
             # Fault-tolerant path: re-enter a partially completed run from its
             # latest session snapshot instead of restarting it, and keep
@@ -235,6 +243,13 @@ def execute_spec(
             result = session.run()
         else:
             result = run_online_training(config, solver=solver, validation_set=validation)
+    run_telemetry: Dict[str, float] = {}
+    if metrics_on:
+        run_telemetry = telemetry.counter_delta(
+            counters_before, telemetry.metrics().counter_values()
+        )
+        run_telemetry["_worker_pid"] = float(os.getpid())
+    tracer.flush()
     record = RunResult(
         name=spec.name,
         config=dict(spec.overrides),
@@ -258,6 +273,7 @@ def execute_spec(
         workload=config.workload,
         seed=config.seed,
         digest=config_digest(config),
+        telemetry=run_telemetry,
     )
     return record, result
 

@@ -48,6 +48,12 @@ class RunResult:
     seed: int = 0
     #: fingerprint of the effective run configuration (checkpoint validation)
     digest: str = ""
+    #: per-run telemetry counter deltas (empty unless ``repro.telemetry``
+    #: metrics were enabled in the executing worker); observability data,
+    #: excluded — like the wall-clock timing metrics — from every
+    #: bit-identity contract.  Keys starting with ``_`` are worker metadata
+    #: (e.g. ``_worker_pid``) and are skipped by telemetry summaries.
+    telemetry: Dict[str, float] = field(default_factory=dict)
 
     def metric(self, key: str, default: float = float("nan")) -> float:
         return float(self.metrics.get(key, default))
@@ -67,6 +73,7 @@ class RunResult:
             workload=data.get("workload", "heat2d"),
             seed=int(data.get("seed", 0)),
             digest=data.get("digest", ""),
+            telemetry={k: float(v) for k, v in data.get("telemetry", {}).items()},
         )
 
 
@@ -121,6 +128,25 @@ class StudyResults:
             "mean_seconds": float(sum(elapsed) / len(elapsed)),
             "max_seconds": float(max(elapsed)),
         }
+
+    def telemetry_summary(self) -> Dict[str, float]:
+        """Merged per-run telemetry counters, accumulated in spec order.
+
+        Each run's :attr:`RunResult.telemetry` holds the counter increments
+        its (possibly remote) worker attributed to that run; this sums them
+        series-by-series over :attr:`runs` — which ``run_all`` always returns
+        in configuration order regardless of backend or completion order, so
+        the merge is deterministic.  Keys starting with ``_`` (worker
+        metadata such as ``_worker_pid``) are skipped.  Empty when telemetry
+        was disabled.
+        """
+        merged: Dict[str, float] = {}
+        for run in self.runs:
+            for key, value in run.telemetry.items():
+                if key.startswith("_"):
+                    continue
+                merged[key] = merged.get(key, 0.0) + float(value)
+        return merged
 
     # ---------------------------------------------------------------- tables
     def table(self, columns: Sequence[str], metric_columns: Sequence[str]) -> str:

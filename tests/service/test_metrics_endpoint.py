@@ -1,0 +1,121 @@
+"""Observability surface of the service: /v1/metrics, health fields, job metrics."""
+
+from __future__ import annotations
+
+import re
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+from repro.service import ServiceClient
+
+#: one Prometheus sample line: name, optional {labels}, numeric value
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (?:[+-]?(?:\d+\.?\d*(?:e[+-]?\d+)?|Inf|NaN))$"
+)
+
+
+@pytest.fixture
+def client(live_service):
+    return ServiceClient(live_service.url, timeout=30.0)
+
+
+class TestHealth:
+    def test_reports_uptime_and_queue_depth(self, client):
+        health = client.health()
+        assert health["uptime_s"] >= 0.0
+        assert health["queue_depth"] == 0
+        assert health["status"] == "ok"
+
+    def test_queue_depth_counts_queued_jobs(self, client, make_payload):
+        # One worker: saturate it, then everything else queues behind it.
+        for seed in range(3):
+            payload = make_payload(seed=seed)
+            client.submit(payload["study_name"], payload["config"], payload["configurations"])
+        health = client.health()
+        assert health["queue_depth"] >= 1
+        assert health["queue_depth"] == health["jobs"].get("queued", 0)
+
+
+class TestMetricsEndpoint:
+    def test_exposition_is_well_formed(self, client):
+        text = client.metrics()
+        assert text  # service gauges are always present
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert _SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+        assert "# TYPE repro_service_uptime_seconds gauge" in text
+        assert "repro_service_queue_depth" in text
+        assert "repro_service_workers 1" in text
+
+    def test_content_type_is_prometheus_text(self, live_service):
+        with urllib.request.urlopen(f"{live_service.url}/v1/metrics", timeout=10) as response:
+            assert response.headers["Content-Type"].startswith("text/plain; version=0.0.4")
+
+    def test_job_states_exported_as_labeled_gauge(self, client, make_payload):
+        payload = make_payload()
+        job = client.submit(payload["study_name"], payload["config"], payload["configurations"])
+        client.wait(job["id"], timeout=120.0)
+        assert 'repro_service_jobs{state="done"} 1' in client.metrics()
+
+    def test_study_counters_flow_into_exposition(self, client, make_payload):
+        # The service owns the process-wide registry while it runs, so
+        # counters incremented by its in-process study engine show up.
+        payload = make_payload()
+        job = client.submit(payload["study_name"], payload["config"], payload["configurations"])
+        client.wait(job["id"], timeout=120.0)
+        text = client.metrics()
+        assert "repro_session_ticks_total" in text
+        assert "repro_solver_steps_total" in text
+
+
+class TestPerJobMetrics:
+    def test_job_payload_carries_merged_run_counters(self, client, make_payload):
+        payload = make_payload(n_runs=2)
+        job = client.submit(payload["study_name"], payload["config"], payload["configurations"])
+        client.wait(job["id"], timeout=120.0)
+        record = client.job(job["id"])
+        metrics = record["metrics"]
+        assert metrics["repro_session_ticks_total"] > 0
+        assert metrics["repro_solver_steps_total"] > 0
+        assert not any(key.startswith("_") for key in metrics)
+
+    def test_unfinished_job_has_empty_metrics_dict(self, client, make_payload):
+        # Three jobs against one worker: the last is still queued when probed.
+        records = []
+        for seed in range(3):
+            payload = make_payload(seed=seed)
+            records.append(
+                client.submit(payload["study_name"], payload["config"], payload["configurations"])
+            )
+        queued = client.job(records[-1]["id"])
+        if queued["state"] == "queued":  # worker may already have raced ahead
+            assert queued["metrics"] == {}
+
+
+class TestMetricsOwnership:
+    def test_service_releases_global_registry_on_stop(self, tmp_path):
+        from repro.service import StudyService
+
+        assert not telemetry.metrics_enabled()
+        service = StudyService(tmp_path / "own", port=0, n_workers=1).start()
+        try:
+            assert telemetry.metrics_enabled()
+        finally:
+            service.stop()
+        assert not telemetry.metrics_enabled()
+
+    def test_service_leaves_foreign_registry_alone(self, tmp_path):
+        from repro.service import StudyService
+
+        telemetry.configure(metrics=True)
+        registry = telemetry.metrics()
+        service = StudyService(tmp_path / "own", port=0, n_workers=1).start()
+        try:
+            assert telemetry.metrics() is registry
+        finally:
+            service.stop()
+        assert telemetry.metrics_enabled()  # not ours to disable
+        telemetry.disable()

@@ -1,0 +1,13 @@
+"""Telemetry tests toggle process-wide state; always restore the default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def telemetry_reset():
+    yield
+    telemetry.disable()

@@ -215,3 +215,110 @@ class TestWorkloadFlag:
                 "fig3b", "--workload", "burgers", "--workload", "fisher",
                 "--out", str(tmp_path),
             ])
+
+
+class TestTelemetryFlags:
+    @pytest.fixture(autouse=True)
+    def telemetry_reset(self):
+        yield
+        from repro import telemetry
+
+        telemetry.disable()
+
+    def test_metrics_flag_writes_exposition(self, tmp_path, capsys):
+        assert main([
+            "fig3b", "--scale", "smoke", "--factor", "sigma",
+            "--out", str(tmp_path), "--metrics",
+        ]) == 0
+        status = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        path = tmp_path / "fig3b_smoke.metrics.txt"
+        assert status["metrics"] == str(path)
+        text = path.read_text()
+        assert "# TYPE repro_session_ticks_total counter" in text
+        assert "repro_solver_steps_total" in text
+
+    def test_trace_flag_writes_jsonl_spans(self, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        assert main([
+            "fig3b", "--scale", "smoke", "--factor", "sigma",
+            "--out", str(tmp_path), "--trace", str(trace_dir),
+        ]) == 0
+        status = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert status["trace"] == str(trace_dir)
+        files = list(trace_dir.glob("trace-*.jsonl"))
+        assert files
+        assert any("session.tick" in line for line in files[0].read_text().splitlines())
+
+    def test_flags_off_leave_telemetry_dark(self, tmp_path, capsys):
+        from repro import telemetry
+
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        assert not telemetry.metrics_enabled()
+        assert not telemetry.tracing_enabled()
+
+
+class TestDoctor:
+    def test_clean_root_is_healthy(self, tmp_path, capsys):
+        assert main(["doctor", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shm segments: 0 orphaned" in out
+        assert out.strip().endswith("healthy")
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main(["doctor", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["healthy"] is True
+        assert report["orphaned_shm_segments"] == []
+        assert report["service_roots"] == []
+
+    def test_stopped_service_root_is_benign(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        root.mkdir()
+        (root / "server.json").write_text(json.dumps({"url": "http://127.0.0.1:1", "pid": 1}))
+        (root / "shutdown.marker").write_text("")
+        assert main(["doctor", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["service_roots"][0]["status"] == "stopped"
+
+    def test_crashed_service_root_flags_attention(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        root.mkdir()
+        # Advertised URL nothing listens on, and no clean-stop marker.
+        (root / "server.json").write_text(json.dumps({"url": "http://127.0.0.1:1", "pid": 1}))
+        assert main(["doctor", str(tmp_path), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["service_roots"][0]["status"] == "crashed"
+        assert any("repro serve --root" in issue for issue in report["issues"])
+
+    def test_corrupt_server_json_flags_attention(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        root.mkdir()
+        (root / "server.json").write_text("{not json")
+        assert main(["doctor", str(tmp_path), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["service_roots"][0]["status"] == "corrupt"
+
+    def test_live_service_root_reported_live(self, tmp_path, capsys):
+        from repro.service import StudyService
+
+        service = StudyService(tmp_path / "svc", port=0, n_workers=1).start()
+        try:
+            assert main(["doctor", str(tmp_path), "--json"]) == 0
+            report = json.loads(capsys.readouterr().out)
+            assert report["service_roots"][0]["status"] == "live"
+        finally:
+            service.stop()
+
+    def test_checkpoint_usage_scanned(self, tmp_path, capsys):
+        snapshots = tmp_path / "runs.jsonl.snapshots" / "run0" / "step-10"
+        snapshots.mkdir(parents=True)
+        (snapshots / "manifest.json").write_text("{}")
+        assert main(["doctor", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        usage = report["checkpoint_usage"][0]
+        assert usage["snapshots"] == 1
+        assert usage["bytes"] > 0
+
+    def test_doctor_listed_in_experiments_table(self, capsys):
+        main(["--list"])
+        assert "doctor" in capsys.readouterr().out

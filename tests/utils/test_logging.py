@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from repro.utils.logging import EventLog, LogRecord, get_logger
+import logging
+
+from repro.utils.logging import EventLog, LogRecord, format_record, get_logger
 
 
 class TestEventLog:
@@ -47,6 +49,43 @@ class TestEventLog:
         log.emit("a", "x")
         log.emit("a", "y")
         assert [r.event for r in log] == ["x", "y"]
+
+
+class TestFormatRecord:
+    def test_basic_shape(self):
+        record = LogRecord(source="server", event="validation", payload={"loss": 0.25}, step=40)
+        assert format_record(record) == "[server] validation step=40 loss=0.25"
+
+    def test_step_omitted_when_unset(self):
+        record = LogRecord(source="launcher", event="submitted", payload={"simulation_id": 3})
+        assert format_record(record) == "[launcher] submitted simulation_id=3"
+
+    def test_floats_use_shortest_repr(self):
+        record = LogRecord(source="s", event="e", payload={"ratio": 0.1})
+        assert format_record(record) == "[s] e ratio=0.1"
+
+    def test_payload_insertion_order_preserved(self):
+        record = LogRecord(source="s", event="e", payload={"b": 1, "a": 2})
+        assert format_record(record).endswith("b=1 a=2")
+
+    def test_empty_payload(self):
+        assert format_record(LogRecord(source="s", event="started")) == "[s] started"
+
+
+class TestEcho:
+    def test_echo_routes_formatted_record_through_stdlib_logging(self, caplog):
+        log = EventLog(echo=True)
+        with caplog.at_level(logging.INFO, logger="repro.events"):
+            record = log.emit("server", "validation", step=20, loss=0.5)
+        assert len(caplog.records) == 1
+        assert caplog.records[0].getMessage() == format_record(record)
+
+    def test_no_echo_by_default(self, caplog):
+        log = EventLog()
+        with caplog.at_level(logging.INFO, logger="repro.events"):
+            log.emit("server", "validation", loss=0.5)
+        assert caplog.records == []
+        assert len(log) == 1  # still collected in memory
 
 
 def test_get_logger_namespacing():

@@ -31,6 +31,31 @@ class TestTimer:
     def test_mean_zero_without_spans(self):
         assert Timer().mean == 0.0
 
+    def test_stop_returns_span_elapsed_not_total(self):
+        timer = Timer()
+        with timer.span():
+            pass
+        timer.start()
+        elapsed = timer.stop()
+        assert 0.0 <= elapsed <= timer.total
+
+    def test_span_accumulates_on_exception(self):
+        timer = Timer(name="t")
+        with pytest.raises(ValueError):
+            with timer.span():
+                raise ValueError("body failed")
+        # The span still closed: count advanced and the timer is restartable.
+        assert timer.count == 1
+        timer.start()
+        timer.stop()
+        assert timer.count == 2
+
+    def test_error_messages_carry_timer_name(self):
+        timer = Timer(name="receive")
+        timer.start()
+        with pytest.raises(RuntimeError, match="'receive'"):
+            timer.start()
+
 
 class TestTimerRegistry:
     def test_get_creates_named_timer(self):
@@ -53,9 +78,38 @@ class TestTimerRegistry:
         assert len(lines) == 2
         assert lines[0].startswith("a")  # sorted by name
 
+    def test_empty_registry_summary(self):
+        assert TimerRegistry().summary() == []
+
+    def test_summary_reports_count_and_mean(self):
+        registry = TimerRegistry()
+        for _ in range(3):
+            with registry.span("phase"):
+                pass
+        (line,) = registry.summary()
+        assert "count=     3" in line
+        assert "total=" in line and "mean=" in line
+
+    def test_nested_spans_of_distinct_timers(self):
+        registry = TimerRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        assert registry.get("outer").count == 1
+        assert registry.get("inner").count == 1
+        assert registry.get("outer").total >= registry.get("inner").total
+
 
 def test_timed_context_manager():
     with timed() as t:
         pass
+    assert t.count == 1
+    assert t.total >= 0.0
+
+
+def test_timed_records_on_exception():
+    with pytest.raises(RuntimeError):
+        with timed() as t:
+            raise RuntimeError("boom")
     assert t.count == 1
     assert t.total >= 0.0

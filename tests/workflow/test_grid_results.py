@@ -143,4 +143,62 @@ class TestTimingSummary:
 
     def test_empty_results(self):
         summary = StudyResults(study="s").timing_summary()
-        assert summary["runs"] == 0.0 and summary["total_seconds"] == 0.0
+        assert summary == {
+            "runs": 0.0,
+            "total_seconds": 0.0,
+            "mean_seconds": 0.0,
+            "max_seconds": 0.0,
+        }
+
+    def test_single_run(self):
+        results = StudyResults(study="s")
+        results.add(RunResult(name="a", config={}, metrics={"elapsed_seconds": 1.5}))
+        summary = results.timing_summary()
+        assert summary["runs"] == 1.0
+        assert summary["total_seconds"] == summary["mean_seconds"] == summary["max_seconds"] == 1.5
+
+    def test_runs_without_timing_only(self):
+        # All-resumed study where no attempt recorded wall time: counts runs,
+        # zeros the aggregates instead of dividing by zero.
+        results = StudyResults(study="s")
+        results.add(RunResult(name="a", config={}, metrics={}))
+        results.add(RunResult(name="b", config={}, metrics={}))
+        summary = results.timing_summary()
+        assert summary["runs"] == 2.0
+        assert summary["mean_seconds"] == 0.0
+
+    def test_survives_json_resume_round_trip(self, tmp_path):
+        # A resumed study reloads completed runs from JSON; their restored
+        # elapsed_seconds must summarise identically to the live objects.
+        results = StudyResults(study="s")
+        results.add(RunResult(name="a", config={}, metrics={"elapsed_seconds": 2.0}))
+        results.add(RunResult(name="b", config={}, metrics={"elapsed_seconds": 0.5}))
+        loaded = StudyResults.load_json(results.save_json(tmp_path / "study.json"))
+        assert loaded.timing_summary() == results.timing_summary()
+
+
+class TestTelemetrySummary:
+    def test_sums_per_run_counters_and_skips_worker_metadata(self):
+        results = StudyResults(study="s")
+        results.add(RunResult(
+            "a", {}, {}, telemetry={"repro_session_ticks_total": 3.0, "_worker_pid": 11.0}
+        ))
+        results.add(RunResult(
+            "b", {}, {}, telemetry={"repro_session_ticks_total": 5.0, "_worker_pid": 12.0}
+        ))
+        assert results.telemetry_summary() == {"repro_session_ticks_total": 8.0}
+
+    def test_empty_when_telemetry_disabled(self):
+        results = StudyResults(study="s")
+        results.add(RunResult("a", {}, {}))
+        assert results.telemetry_summary() == {}
+
+    def test_telemetry_round_trips_through_json(self, tmp_path):
+        results = StudyResults(study="s")
+        results.add(RunResult("a", {}, {}, telemetry={"repro_solver_steps_total": 40.0}))
+        loaded = StudyResults.load_json(results.save_json(tmp_path / "study.json"))
+        assert loaded.runs[0].telemetry == {"repro_solver_steps_total": 40.0}
+
+    def test_legacy_payload_without_telemetry_defaults_empty(self):
+        run = RunResult.from_dict({"name": "old", "config": {}, "metrics": {}})
+        assert run.telemetry == {}
