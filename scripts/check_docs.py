@@ -26,7 +26,7 @@ from typing import List, Tuple
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: markdown files whose fenced ``>>>`` examples must execute as written
-DOCTESTED = ("docs/WORKLOADS.md", "docs/BENCHMARKS.md")
+DOCTESTED = ("docs/WORKLOADS.md", "docs/BENCHMARKS.md", "docs/CAMPAIGNS.md")
 
 #: scaffolding files quoting material from *other* repositories verbatim —
 #: their links describe those repos, not this one

@@ -18,7 +18,9 @@ Importing this module registers the scenarios (see
   shared-memory executor backends, plus validation-heavy throughput and
   worker-scaling comparisons of the parallel backends,
 * ``service/*`` — HTTP round-trips against a live study service (submit,
-  poll progress, wait for completion).
+  poll progress, wait for completion),
+* ``campaign/*`` — DAG-of-studies orchestration overhead over a pre-warmed
+  artifact cache (scheduling + manifest + cache splice, zero runs executed).
 
 Scenario workloads are deterministic (fixed seeds, fixed work per call) so
 two reports from the same machine measure the same computation.
@@ -521,3 +523,55 @@ def _service_submit_roundtrip() -> ScenarioRun:
         shutil.rmtree(root, ignore_errors=True)
 
     return ScenarioRun(fn=fn, cleanup=cleanup)
+
+
+# ------------------------------------------------------------------ campaign
+
+
+@register_scenario(
+    "campaign/cache_hit",
+    units="runs",
+    description="DAG orchestration over a pre-warmed artifact cache (zero runs executed)",
+)
+def _campaign_cache_hit() -> ScenarioRun:
+    """Pure campaign overhead: scheduling, manifest, cache splice — no training.
+
+    Setup executes a tiny two-node campaign once to warm its artifact cache;
+    each timed call replays the identical campaign over a fresh root seeded
+    with a *copy* of that cache, so every run resolves through the
+    cache-splice path (``runs_executed`` must stay 0).  The measured quantity
+    is therefore the fixed per-run cost the campaign layer adds on top of
+    the study engine — the number that should stay flat as campaigns grow.
+    """
+    from repro.campaign import CampaignRunner, CampaignSpec
+
+    base = _tiny_session_config(max_iterations=20, n_simulations=4).to_dict()
+    payload = {
+        "name": "bench",
+        "config": base,
+        "nodes": [
+            {"name": "a", "configurations": [{"sigma": 0.1}, {"sigma": 0.3}]},
+            {"name": "b", "depends_on": ["a"], "configurations": [{"sigma": 0.1}]},
+        ],
+    }
+    spec = CampaignSpec.from_dict(payload)
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-campaign-"))
+    warm = CampaignRunner(spec, tmp / "warm").run()
+    if not warm.ok:  # pragma: no cover - setup failure is a bench bug
+        raise RuntimeError(f"cache warm-up failed: {warm.states}")
+    counter = [0]
+
+    def fn() -> int:
+        counter[0] += 1
+        root = tmp / f"replay-{counter[0]}"
+        shutil.copytree(tmp / "warm" / "cache", root / "cache")
+        outcome = CampaignRunner(spec, root).run()
+        if outcome.runs_executed or outcome.cache_hits != 3:
+            raise RuntimeError(
+                f"expected a pure cache replay, executed={outcome.runs_executed} "
+                f"hits={outcome.cache_hits}"
+            )
+        shutil.rmtree(root, ignore_errors=True)
+        return outcome.cache_hits
+
+    return ScenarioRun(fn=fn, cleanup=lambda: shutil.rmtree(tmp, ignore_errors=True))

@@ -470,6 +470,7 @@ def _list_experiments() -> str:
     rows.append(("bench", "perf", "benchmark harness (see `bench --help` / --list-scenarios)"))
     rows.append(("serve", "service", "long-running study server (see `serve --help` / docs/SERVICE.md)"))
     rows.append(("doctor", "ops", "diagnose shm/service/checkpoint residue (see `doctor --help`)"))
+    rows.append(("campaign", "study", "resumable DAG-of-studies (see `campaign --help` / docs/CAMPAIGNS.md)"))
     return format_table(["experiment", "kind", "description"], rows)
 
 
@@ -489,6 +490,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.doctor import doctor_main
 
         return doctor_main(argv[1:])
+    if argv and argv[0] == "campaign":
+        from repro.campaign.cli import campaign_main
+
+        return campaign_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:

@@ -15,9 +15,14 @@ leave behind, reported as a plain-text table (and ``--json`` for scripts):
 * **checkpoint usage** — disk consumed by session-snapshot directories
   (``*.snapshots`` and ``step-*`` trees) under the scanned roots, so
   oversized retention is visible before the disk fills.
+* **campaign manifests** — campaign roots (``manifest.jsonl`` ledgers, see
+  :mod:`repro.campaign`) whose latest invocation has a node marked running
+  but whose writing process is gone: an abandoned campaign, reported with
+  the exact ``repro campaign --root <dir> --resume`` command that re-enters
+  it bit-identically.
 
 Exit status: 0 when healthy, 1 when something needs attention (orphaned
-segments, or a crashed service root).
+segments, a crashed service root, or an abandoned campaign).
 """
 
 from __future__ import annotations
@@ -116,6 +121,67 @@ def _scan_checkpoints(roots: List[Path]) -> List[Dict[str, Any]]:
     return findings
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process we could signal (0 probes only)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by someone else
+        return True
+    return True
+
+
+def _scan_campaigns(roots: List[Path]) -> List[Dict[str, Any]]:
+    """Classify every campaign manifest under the scanned roots.
+
+    ``finished`` — latest invocation reached ``campaign_finished``;
+    ``running`` — open node attempts and the recording pid is alive;
+    ``abandoned`` — open node attempts but the pid is gone (killed mid-node);
+    a finished campaign with no open attempts and a dead pid is ``stale``
+    only in the sense that nothing needs doing, so it stays ``finished``.
+    """
+    from repro.campaign.manifest import CampaignManifest
+
+    findings: List[Dict[str, Any]] = []
+    seen = set()
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("manifest.jsonl")):
+            key = path.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            manifest = CampaignManifest(path)
+            events = manifest.load()
+            if not events or events[0].get("event") != "campaign_started":
+                continue  # some other JSONL file, not a campaign ledger
+            invocation = manifest.last_invocation()
+            campaign = invocation[0].get("campaign") if invocation else None
+            open_nodes = manifest.running_nodes()
+            if manifest.finished():
+                status = "finished"
+            elif open_nodes and any(_pid_alive(pid) for pid in open_nodes.values()):
+                status = "running"
+            elif not _pid_alive(int(invocation[-1].get("pid", 0))):
+                status = "abandoned"
+            else:
+                status = "running"
+            findings.append(
+                {
+                    "root": str(path.parent),
+                    "campaign": campaign,
+                    "status": status,
+                    "running_nodes": sorted(open_nodes),
+                    "pid": int(invocation[-1].get("pid", 0)) if invocation else 0,
+                }
+            )
+    return findings
+
+
 def diagnose(roots: List[Path]) -> Dict[str, Any]:
     """Run every check; the payload ``doctor_main`` renders and exits on."""
     from repro.workflow.shm import orphaned_segments
@@ -123,6 +189,7 @@ def diagnose(roots: List[Path]) -> Dict[str, Any]:
     segments = orphaned_segments()
     services = _scan_service_roots(roots)
     checkpoints = _scan_checkpoints(roots)
+    campaigns = _scan_campaigns(roots)
     issues: List[str] = []
     if segments:
         issues.append(
@@ -138,10 +205,20 @@ def diagnose(roots: List[Path]) -> Dict[str, Any]:
             )
         elif service["status"] == "corrupt":
             issues.append(f"service root {service['root']} has an unreadable server.json")
+    for campaign in campaigns:
+        if campaign["status"] == "abandoned":
+            nodes = ", ".join(campaign["running_nodes"]) or "?"
+            issues.append(
+                f"campaign {campaign['campaign']!r} at {campaign['root']} was "
+                f"abandoned (node(s) {nodes} marked running, pid {campaign['pid']} "
+                f"is gone); resume with: "
+                f"repro campaign --root {campaign['root']} --resume"
+            )
     return {
         "orphaned_shm_segments": segments,
         "service_roots": services,
         "checkpoint_usage": checkpoints,
+        "campaigns": campaigns,
         "issues": issues,
         "healthy": not issues,
     }
@@ -195,6 +272,17 @@ def doctor_main(argv: Optional[List[str]] = None) -> int:
         ))
     else:
         print("checkpoint snapshots: none found")
+    if report["campaigns"]:
+        print(format_table(
+            ["campaign root", "campaign", "status", "open nodes"],
+            [
+                (c["root"], c["campaign"] or "-", c["status"],
+                 ", ".join(c["running_nodes"]) or "-")
+                for c in report["campaigns"]
+            ],
+        ))
+    else:
+        print("campaign manifests: none found")
     for issue in report["issues"]:
         print(f"ISSUE: {issue}")
     print("healthy" if report["healthy"] else "attention needed")

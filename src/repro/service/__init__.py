@@ -39,6 +39,7 @@ from repro.service.schemas import (
     JobSpec,
     SubmissionError,
     job_fingerprint,
+    validate_campaign_submission,
     validate_submission,
 )
 from repro.service.server import SHUTDOWN_MARKER, StudyService
@@ -60,5 +61,6 @@ __all__ = [
     "Worker",
     "WorkerPool",
     "job_fingerprint",
+    "validate_campaign_submission",
     "validate_submission",
 ]

@@ -109,6 +109,15 @@ class ServiceClient:
             payload["checkpoint_every"] = checkpoint_every
         return self._request("POST", "/v1/jobs", payload)
 
+    def submit_campaign(self, campaign: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a campaign spec document (``docs/CAMPAIGNS.md`` format).
+
+        The returned job record is a normal job — poll/stream/result through
+        the same endpoints; ``deduplicated`` flags a spec whose campaign
+        fingerprint matched an existing job.
+        """
+        return self._request("POST", "/v1/campaigns", campaign)
+
     def jobs(self) -> List[Dict[str, Any]]:
         return self._request("GET", "/v1/jobs")["jobs"]
 

@@ -42,6 +42,7 @@ __all__ = [
     "SubmissionError",
     "job_fingerprint",
     "run_digests",
+    "validate_campaign_submission",
     "validate_submission",
 ]
 
@@ -81,10 +82,21 @@ class JobSpec:
     max_workers: Optional[int] = None
     #: mid-run session-snapshot period in batches (None → server default)
     checkpoint_every: Optional[int] = None
+    #: campaign jobs only: the full CampaignSpec dictionary (study fields
+    #: above still describe the submission; ``configurations`` stays empty)
+    campaign: Optional[Dict[str, Any]] = None
 
     def build_base_config(self) -> OnlineTrainingConfig:
         """Rebuild the base configuration (raises on drifted payloads)."""
         return OnlineTrainingConfig.from_dict(self.config)
+
+    def total_runs(self) -> int:
+        """Run count shown as the job's ``runs_total`` (estimate for campaigns)."""
+        if self.campaign is not None:
+            from repro.campaign.spec import CampaignSpec
+
+            return CampaignSpec.from_dict(self.campaign).estimated_runs()
+        return len(self.configurations)
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -99,6 +111,7 @@ class JobSpec:
             backend=str(data.get("backend", "serial")),
             max_workers=data.get("max_workers"),
             checkpoint_every=data.get("checkpoint_every"),
+            campaign=dict(data["campaign"]) if data.get("campaign") is not None else None,
         )
 
 
@@ -113,6 +126,8 @@ def validate_submission(payload: Any) -> JobSpec:
     """
     if not isinstance(payload, Mapping):
         raise SubmissionError("submission must be a JSON object")
+    if "campaign" in payload:
+        raise SubmissionError("campaign submissions go to POST /v1/campaigns")
     unknown = sorted(set(payload) - set(JobSpec.__dataclass_fields__))
     if unknown:
         raise SubmissionError(f"unknown submission key(s): {unknown}")
@@ -163,6 +178,37 @@ def validate_submission(payload: Any) -> JobSpec:
     )
 
 
+def validate_campaign_submission(payload: Any) -> JobSpec:
+    """Parse a ``POST /v1/campaigns`` body into a campaign :class:`JobSpec`.
+
+    The body *is* a campaign spec document (``docs/CAMPAIGNS.md`` format) —
+    name, base config, nodes, optional backend/max_workers/checkpoint_every.
+    Structural validation (node references, selector wiring, cycle-free-ness
+    at schedule time) is delegated to :class:`repro.campaign.spec.CampaignSpec`;
+    any spec error surfaces here as a client-readable HTTP 400.
+    """
+    from repro.campaign.spec import CampaignSpec, CampaignSpecError, topological_order
+
+    if not isinstance(payload, Mapping):
+        raise SubmissionError("campaign submission must be a JSON object")
+    try:
+        campaign = CampaignSpec.from_dict(payload)
+        topological_order(campaign)  # surface cycles at the HTTP boundary
+    except CampaignSpecError as exc:
+        raise SubmissionError(f"invalid campaign: {exc}") from exc
+    except (TypeError, ValueError, KeyError) as exc:
+        raise SubmissionError(f"invalid campaign: {exc}") from exc
+    return JobSpec(
+        study_name=campaign.name,
+        config=dict(campaign.config),
+        configurations=[],
+        backend=campaign.backend,
+        max_workers=campaign.max_workers,
+        checkpoint_every=campaign.checkpoint_every or None,
+        campaign=campaign.to_dict(),
+    )
+
+
 def run_digests(spec: JobSpec) -> List[tuple]:
     """``(run_name, config_digest)`` per run of the submission, in run order.
 
@@ -189,5 +235,13 @@ def job_fingerprint(spec: JobSpec) -> str:
     they change *how* the study runs, not *what* it computes (metrics and
     series are bit-identical across backends).
     """
-    payload = {"study_name": spec.study_name, "runs": run_digests(spec)}
+    if spec.campaign is not None:
+        from repro.campaign.spec import CampaignSpec, campaign_digest
+
+        payload: Dict[str, Any] = {
+            "study_name": spec.study_name,
+            "campaign": campaign_digest(CampaignSpec.from_dict(spec.campaign)),
+        }
+    else:
+        payload = {"study_name": spec.study_name, "runs": run_digests(spec)}
     return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()[:16]

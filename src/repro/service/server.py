@@ -12,6 +12,8 @@ method    path                            effect
 ========  ==============================  ========================================
 GET       ``/v1/health``                  server liveness + queue counters
 GET       ``/v1/jobs``                    list all jobs (oldest first)
+POST      ``/v1/campaigns``               submit a campaign DAG (same dedupe and
+                                          job lifecycle; see docs/CAMPAIGNS.md)
 POST      ``/v1/jobs``                    submit a study (``201``; ``200`` +
                                           ``deduplicated: true`` for an identical
                                           resubmission)
@@ -50,6 +52,7 @@ from repro import __version__, telemetry
 from repro.service.schemas import (
     TERMINAL_EVENTS,
     SubmissionError,
+    validate_campaign_submission,
     validate_submission,
 )
 from repro.service.store import JobStore, UnknownJobError, _atomic_write_text
@@ -145,6 +148,13 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if path == "/v1/jobs":
                 spec = validate_submission(self._read_body())
+                record, deduplicated = self.service.store.submit(spec)
+                payload = dict(record.to_dict(), deduplicated=deduplicated)
+                return self._send_json(payload, status=200 if deduplicated else 201)
+            if path == "/v1/campaigns":
+                # A campaign is a job whose spec carries the DAG; it shares
+                # the store, queue, progress stream and result endpoints.
+                spec = validate_campaign_submission(self._read_body())
                 record, deduplicated = self.service.store.submit(spec)
                 payload = dict(record.to_dict(), deduplicated=deduplicated)
                 return self._send_json(payload, status=200 if deduplicated else 201)

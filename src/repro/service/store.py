@@ -62,7 +62,7 @@ class JobRecord:
     id: str
     spec: JobSpec
     state: str = "queued"
-    #: total runs of the study (len(spec.configurations))
+    #: total runs of the study (campaign jobs: static upper-bound estimate)
     runs_total: int = 0
     #: completed-run count (monotonic within one execution; authoritative
     #: progress lives in runs.jsonl)
@@ -225,7 +225,7 @@ class JobStore:
                 id=job_id,
                 spec=spec,
                 state="queued",
-                runs_total=len(spec.configurations),
+                runs_total=spec.total_runs(),
                 submitted_at=time.time(),
             )
             self.job_dir(job_id).mkdir(parents=True, exist_ok=True)

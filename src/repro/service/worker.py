@@ -97,10 +97,16 @@ class Worker(threading.Thread):
         try:
             if self.store.cancel_requested(job_id):
                 raise JobCancelled(job_id)
-            results = self._run_study(record)
-            self._write_result(job_id, results)
-            self.store.mark_done(job_id)
-            _LOGGER.info("job %s done (%d runs)", job_id, len(results))
+            if record.spec.campaign is not None:
+                outcome = self._run_campaign(record)
+                self._write_campaign_result(job_id, outcome)
+                self.store.mark_done(job_id)
+                _LOGGER.info("job %s done (campaign, %s)", job_id, outcome.states)
+            else:
+                results = self._run_study(record)
+                self._write_result(job_id, results)
+                self.store.mark_done(job_id)
+                _LOGGER.info("job %s done (%d runs)", job_id, len(results))
         except ServiceShutdown:
             self.store.requeue(job_id, reason="server stopping")
             _LOGGER.info("job %s re-queued (server stopping)", job_id)
@@ -129,6 +135,51 @@ class Worker(threading.Thread):
             resume=self.store.runs_path(record.id),
             checkpoint_every=checkpoint_every or None,
         )
+
+    def _run_campaign(self, record: JobRecord):
+        """Drive a campaign job; every (re-)entry resumes the same root.
+
+        The campaign root lives inside the job directory, so the store's
+        restart-recovery (re-queueing dangling ``running`` jobs) composes with
+        the campaign's own manifest/cache resume: a killed server re-enters
+        the campaign bit-identically, exactly like plain study jobs.  A
+        campaign with failed nodes fails the job (resubmission re-queues it,
+        and the resume retries only the failed subgraph).
+        """
+        from repro.campaign import CampaignRunner, CampaignSpec
+
+        spec: JobSpec = record.spec
+        campaign = CampaignSpec.from_dict(spec.campaign)
+        checkpoint_every = (
+            spec.checkpoint_every if spec.checkpoint_every is not None else self.checkpoint_every
+        )
+        forwarded = {"node_started", "node_finished", "node_failed", "node_skipped", "node_resumed"}
+        runner = CampaignRunner(
+            campaign,
+            root=self.store.job_dir(record.id) / "campaign",
+            backend=spec.backend,
+            max_workers=spec.max_workers,
+            checkpoint_every=checkpoint_every,
+            on_result=lambda run: self._on_run_finished(record.id, run),
+            on_event=lambda event, payload: (
+                self.store.append_event(record.id, event, **payload)
+                if event in forwarded
+                else None
+            ),
+            propagate=(ServiceShutdown, JobCancelled),
+        )
+        outcome = runner.run(resume=True)
+        if not outcome.ok:
+            bad = {n: s for n, s in outcome.states.items() if s != "done"}
+            raise RuntimeError(f"campaign node(s) did not complete: {bad}")
+        return outcome
+
+    def _write_campaign_result(self, job_id: str, outcome) -> None:
+        """Persist the campaign summary (states, cache accounting, per-node runs)."""
+        from repro.service.store import _atomic_write_text
+        import json
+
+        _atomic_write_text(self.store.result_path(job_id), json.dumps(outcome.to_dict(), indent=2))
 
     def _on_run_finished(self, job_id: str, run: RunResult) -> None:
         """Per-run callback: stream progress, then honour stop/cancel requests.

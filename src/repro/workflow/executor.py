@@ -51,6 +51,7 @@ from repro.solvers.base import Solver
 from repro.surrogate.validation import ValidationSet, validation_set_for_workload
 from repro.utils.logging import get_logger
 from repro.utils.timer import Timer
+from repro.workflow import faults
 from repro.workflow.results import RunResult
 
 __all__ = [
@@ -222,6 +223,10 @@ def execute_spec(
     calls it in-process, the multiprocess backend calls it inside each worker
     (through :func:`_execute_spec_in_worker`).
     """
+    # Deterministic crash point for the kill-and-resume matrix: fires in
+    # whichever process executes the run (driver or worker).  One env lookup
+    # when unarmed — see repro.workflow.faults.
+    faults.maybe_inject("run", spec.name)
     config = spec.build_config()
     solver, validation = (cache if cache is not None else StudyInputCache()).inputs(config)
     timer = Timer(name=spec.name)

@@ -1,0 +1,20 @@
+"""Shared fixtures of the campaign tests (builders live in topologies.py)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import pytest
+
+from topologies import TOPOLOGIES
+
+
+@pytest.fixture
+def make_campaign() -> Callable:
+    """Factory of campaign spec payloads by topology name."""
+
+    def factory(topology: str = "chain", **spec_overrides) -> Dict[str, Any]:
+        builder, _executed, _hits = TOPOLOGIES[topology]
+        return builder(**spec_overrides)
+
+    return factory

@@ -1,0 +1,110 @@
+"""The campaign kill-and-resume matrix: topology × backend × SIGKILL point.
+
+Each cell SIGKILLs a real ``repro campaign`` subprocess at a deterministic
+point (via the :mod:`repro.workflow.faults` env protocol), restarts it with
+``--resume``, and requires
+
+* the final ``result.json`` to be bit-identical to an uninterrupted
+  reference (wall-clock timing metrics and telemetry excluded),
+* the manifest to prove no completed run was ever re-executed, and
+* the topology's shared run to have executed exactly once overall
+  (cache-hit accounting survives the kill).
+
+Serial cells die *mid-run* (the ``run`` injection point fires inside
+``execute_spec`` in the driver process); shm cells die at a *run boundary*
+in the campaign driver (the ``record`` point — under shm the ``run`` point
+fires in a pool worker instead of the orchestrator).  Crashed shm drivers
+leak worker processes and ``/dev/shm`` segments; ``run_campaign_cli`` reaps
+both after every invocation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from faults import SIGKILLED, CrashAt, run_campaign_cli
+from repro.campaign import CampaignManifest, CampaignRunner, CampaignSpec
+from repro.workflow.executor import TIMING_METRICS
+from topologies import TOPOLOGIES
+
+pytestmark = pytest.mark.slow
+
+#: (topology, backend, fault) — the kill lands on a mid-DAG node so every
+#: cell has both completed work to splice and pending work to finish
+MATRIX = [
+    ("chain", "serial", CrashAt("mid", 0, point="run")),
+    ("diamond", "serial", CrashAt("left", 1, point="run")),
+    ("fanout", "serial", CrashAt("f1", 0, point="run")),
+    ("chain", "shm", CrashAt("mid", 0, point="record")),
+    ("diamond", "shm", CrashAt("left", 1, point="record")),
+    ("fanout", "shm", CrashAt("f3", 0, point="record")),
+]
+
+
+def comparable(run_dict):
+    """A run dict minus wall-clock noise (timing metrics, telemetry)."""
+    return {
+        "name": run_dict["name"],
+        "config": run_dict["config"],
+        "workload": run_dict["workload"],
+        "seed": run_dict["seed"],
+        "digest": run_dict["digest"],
+        "metrics": {k: v for k, v in run_dict["metrics"].items() if k not in TIMING_METRICS},
+        "series": run_dict["series"],
+    }
+
+
+def comparable_nodes(result_payload):
+    return {
+        node: [comparable(run) for run in runs]
+        for node, runs in result_payload["nodes"].items()
+    }
+
+
+@pytest.mark.parametrize(
+    "topology,backend,fault", MATRIX, ids=[f"{t}-{b}" for t, b, _ in MATRIX]
+)
+def test_sigkill_then_resume_is_bit_identical(topology, backend, fault, tmp_path):
+    builder, executed, hits = TOPOLOGIES[topology]
+    payload = builder(backend=backend, max_workers=2)
+
+    # uninterrupted reference, same backend, separate root
+    reference = CampaignRunner(
+        CampaignSpec.from_dict(payload), tmp_path / "ref"
+    ).run()
+    assert reference.ok
+    reference_nodes = comparable_nodes(reference.to_dict())
+
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps(payload))
+    root = tmp_path / "victim"
+
+    # --- victim: SIGKILLed at the injection point, no cleanup of any kind
+    rc, out, err = run_campaign_cli([spec_file, "--root", root], cwd=tmp_path, fault=fault)
+    assert rc == SIGKILLED, f"victim survived its fault\nstdout:{out}\nstderr:{err}"
+    assert not (root / "result.json").exists()
+
+    # --- restart: --resume re-enters and completes
+    rc, out, err = run_campaign_cli(
+        [spec_file, "--root", root, "--resume", "--json"], cwd=tmp_path
+    )
+    assert rc == 0, f"resume failed\nstdout:{out}\nstderr:{err}"
+    summary = json.loads(out.strip().splitlines()[-1])
+    assert summary["ok"] is True
+
+    # bit-identical to the uninterrupted reference
+    final = json.loads((root / "result.json").read_text())
+    assert comparable_nodes(final) == reference_nodes
+
+    # the manifest ledger across BOTH invocations: every executed digest is
+    # unique — completed runs were spliced on resume, never re-executed —
+    # and the shared run was satisfied from the artifact cache
+    manifest = CampaignManifest(root / "manifest.jsonl")
+    counts = manifest.executed_run_counts()
+    assert counts and all(count == 1 for count in counts.values())
+    assert len(counts) == executed
+    events = manifest.load()
+    cached = [e for e in events if e["event"] == "run_finished" and e.get("cached")]
+    assert len(cached) == hits

@@ -1,0 +1,105 @@
+"""Tiny campaign specs over known topologies, shared across the test matrix.
+
+Every topology embeds a *shared run* — two nodes whose expansion contains the
+same effective configuration — so the artifact-cache execute-exactly-once
+contract is exercised (and countable) everywhere.  The expected
+executed/cache-hit split per topology is part of the builder's contract and
+asserted by both the unit tests and the kill-and-resume matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict
+
+from repro.experiments.base import base_config
+
+#: override dicts reused across topologies (distinct effective configs)
+C1 = {"sigma": 0.1}
+C2 = {"sigma": 0.3}
+C3 = {"sigma": 0.5}
+
+
+def tiny_config_dict(seed: int = 5, **overrides) -> Dict[str, Any]:
+    """A base config whose runs finish in well under a second."""
+    config = base_config("smoke", method="breed", seed=seed)
+    fields = dict(
+        n_simulations=4,
+        max_iterations=20,
+        n_validation_trajectories=2,
+        hidden_size=8,
+        n_hidden_layers=1,
+    )
+    fields.update(overrides)
+    return dataclasses.replace(config, **fields).to_dict()
+
+
+def chain_spec(**spec_overrides) -> Dict[str, Any]:
+    """sweep → mid (top-1 select) → final; ``final`` re-uses a sweep run.
+
+    Expected accounting: 3 executed (sweep×2, mid×1), 1 cache hit (final).
+    """
+    payload = {
+        "name": "chain",
+        "config": tiny_config_dict(),
+        "nodes": [
+            {"name": "sweep", "configurations": [C1, C2]},
+            {"name": "mid", "depends_on": ["sweep"],
+             "select": {"type": "top_k", "node": "sweep",
+                        "metric": "final_validation_loss", "k": 1,
+                        "overrides": {"max_iterations": 24}}},
+            {"name": "final", "depends_on": ["mid"], "configurations": [C1]},
+        ],
+    }
+    payload.update(spec_overrides)
+    return payload
+
+
+def diamond_spec(**spec_overrides) -> Dict[str, Any]:
+    """src → (left, right) → join; ``right`` shares C3 with ``left``.
+
+    Expected accounting: 4 executed (src×1, left×2, join×1), 1 cache hit
+    (right's only run).
+    """
+    payload = {
+        "name": "diamond",
+        "config": tiny_config_dict(),
+        "nodes": [
+            {"name": "src", "configurations": [C1]},
+            {"name": "left", "depends_on": ["src"], "configurations": [C2, C3]},
+            {"name": "right", "depends_on": ["src"], "configurations": [C3]},
+            {"name": "join", "depends_on": ["left", "right"],
+             "select": {"type": "top_k", "node": "left",
+                        "metric": "final_validation_loss", "k": 1,
+                        "overrides": {"max_iterations": 24}}},
+        ],
+    }
+    payload.update(spec_overrides)
+    return payload
+
+
+def fanout_spec(**spec_overrides) -> Dict[str, Any]:
+    """root fans out to f1/f2/f3; ``f2`` duplicates ``f1``'s configuration.
+
+    Expected accounting: 3 executed (root, f1, f3), 1 cache hit (f2).
+    """
+    payload = {
+        "name": "fanout",
+        "config": tiny_config_dict(),
+        "nodes": [
+            {"name": "root", "configurations": [C1]},
+            {"name": "f1", "depends_on": ["root"], "configurations": [C2]},
+            {"name": "f2", "depends_on": ["root"], "configurations": [C2]},
+            {"name": "f3", "depends_on": ["root"], "configurations": [C3]},
+        ],
+    }
+    payload.update(spec_overrides)
+    return payload
+
+
+#: topology name → (spec builder, expected executed, expected cache hits)
+TOPOLOGIES: Dict[str, tuple] = {
+    "chain": (chain_spec, 3, 1),
+    "diamond": (diamond_spec, 4, 1),
+    "fanout": (fanout_spec, 3, 1),
+}

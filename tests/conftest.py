@@ -7,8 +7,19 @@ a second while still exercising the real code paths.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+# tests/campaign/faults.py is the shared deterministic fault-injection helper
+# (campaign kill-and-resume matrix, service interruption tests).  The test
+# tree is importable per-directory (no packages), so make the helper reachable
+# from every test module regardless of which directory pytest collected first.
+_FAULTS_DIR = str(Path(__file__).parent / "campaign")
+if _FAULTS_DIR not in sys.path:
+    sys.path.insert(0, _FAULTS_DIR)
 
 from repro.breed.samplers import BreedConfig
 from repro.melissa.run import OnlineTrainingConfig

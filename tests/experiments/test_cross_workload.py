@@ -71,6 +71,7 @@ class TestStudy:
         assert {run.workload for run in result.study.runs} == set(FAST_WORKLOADS)
 
 
+@pytest.mark.slow  # three full cross-workload studies per backend
 class TestBackendsAndResume:
     def test_process_backend_is_bit_identical_to_serial(self):
         # one study over all three new families: 6 runs through each backend

@@ -10,6 +10,8 @@ import pytest
 from repro import telemetry
 from repro.service import ServiceClient
 
+pytestmark = pytest.mark.slow  # live servers + real studies (see README testing section)
+
 #: one Prometheus sample line: name, optional {labels}, numeric value
 _SAMPLE_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (?:[+-]?(?:\d+\.?\d*(?:e[+-]?\d+)?|Inf|NaN))$"

@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 
 import pytest
+from faults import interrupt_after_runs  # tests/campaign/faults.py (see tests/conftest.py)
 
 from repro.service.schemas import validate_submission
 from repro.service.store import JobStore
@@ -50,17 +51,6 @@ def _comparable(results: StudyResults):
     ]
 
 
-def _interrupt_after_first_run(store: JobStore, stop_event: threading.Event) -> None:
-    """Arrange for the worker to see a shutdown right after run #1 finishes."""
-    bookkeeping = store.record_run_finished
-
-    def wrapped(job_id, name, metrics):
-        bookkeeping(job_id, name, metrics)
-        stop_event.set()
-
-    store.record_run_finished = wrapped  # type: ignore[method-assign]
-
-
 @pytest.fixture
 def submitted(tmp_path, make_payload):
     store = JobStore(tmp_path / "svc")
@@ -76,7 +66,7 @@ class TestInterruptedJobResume:
 
         # --- first server: interrupted right after the first run finishes
         stop_event = threading.Event()
-        _interrupt_after_first_run(store, stop_event)
+        interrupt_after_runs(store, stop_event, n_runs=1)
         worker = Worker(store, stop_event, checkpoint_every=8)
         worker.execute(store.claim_next(timeout=0))
 
@@ -109,7 +99,7 @@ class TestInterruptedJobResume:
         # and the first run completes, but the server dies with no cleanup —
         # no requeue, no marker, nothing
         stop_event = threading.Event()
-        _interrupt_after_first_run(store, stop_event)
+        interrupt_after_runs(store, stop_event, n_runs=1)
         worker = Worker(store, stop_event, checkpoint_every=8)
         claimed = store.claim_next(timeout=0)
         try:
@@ -130,7 +120,7 @@ class TestInterruptedJobResume:
     def test_mid_run_session_snapshots_are_written(self, submitted):
         store, spec, record = submitted
         stop_event = threading.Event()
-        _interrupt_after_first_run(store, stop_event)
+        interrupt_after_runs(store, stop_event, n_runs=1)
         Worker(store, stop_event, checkpoint_every=8).execute(store.claim_next(timeout=0))
         snapshots = store.runs_path(record.id).parent / "runs.jsonl.snapshots"
         run_dirs = sorted(p.name for p in snapshots.iterdir() if p.is_dir())

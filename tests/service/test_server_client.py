@@ -15,6 +15,8 @@ import pytest
 
 from repro.service import SHUTDOWN_MARKER, ServiceClient, ServiceError
 
+pytestmark = pytest.mark.slow  # live servers + real studies (see README testing section)
+
 
 @pytest.fixture
 def client(live_service):

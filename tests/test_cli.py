@@ -322,3 +322,141 @@ class TestDoctor:
     def test_doctor_listed_in_experiments_table(self, capsys):
         main(["--list"])
         assert "doctor" in capsys.readouterr().out
+
+
+class TestDoctorCampaigns:
+    """The campaign-manifest probe: finished / running / abandoned roots."""
+
+    @staticmethod
+    def _write_manifest(root, pid, *, finished=False, node="train"):
+        root.mkdir(parents=True, exist_ok=True)
+        events = [
+            {"seq": 0, "event": "campaign_started", "pid": pid, "ts": 1.0,
+             "campaign": "demo", "digest": "d" * 16, "backend": "serial",
+             "resumed": False, "nodes": [node]},
+            {"seq": 1, "event": "node_started", "pid": pid, "ts": 2.0,
+             "node": node, "attempt": 1},
+        ]
+        if finished:
+            events.append({"seq": 2, "event": "node_finished", "pid": pid,
+                           "ts": 3.0, "node": node, "runs": 1})
+            events.append({"seq": 3, "event": "campaign_finished", "pid": pid,
+                           "ts": 4.0, "campaign": "demo", "states": {node: "done"},
+                           "cache_hits": 0, "runs_executed": 1})
+        (root / "manifest.jsonl").write_text(
+            "".join(json.dumps(e) + "\n" for e in events)
+        )
+
+    def test_finished_campaign_is_healthy(self, tmp_path, capsys):
+        import os
+
+        self._write_manifest(tmp_path / "camp", os.getpid(), finished=True)
+        assert main(["doctor", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["campaigns"][0]["status"] == "finished"
+        assert report["healthy"] is True
+
+    def test_running_campaign_with_live_pid_is_healthy(self, tmp_path, capsys):
+        import os
+
+        self._write_manifest(tmp_path / "camp", os.getpid())
+        assert main(["doctor", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["campaigns"][0]["status"] == "running"
+        assert report["campaigns"][0]["running_nodes"] == ["train"]
+
+    def test_abandoned_campaign_flags_attention_with_resume_hint(self, tmp_path, capsys):
+        import subprocess
+        import sys
+
+        # a pid guaranteed dead: a subprocess that has already been reaped
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()
+        self._write_manifest(tmp_path / "camp", probe.pid)
+
+        assert main(["doctor", str(tmp_path), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        finding = report["campaigns"][0]
+        assert finding["status"] == "abandoned"
+        assert finding["running_nodes"] == ["train"]
+        hint = f"repro campaign --root {tmp_path / 'camp'} --resume"
+        assert any(hint in issue for issue in report["issues"])
+
+    def test_abandoned_campaign_in_table_output(self, tmp_path, capsys):
+        import subprocess
+        import sys
+
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()
+        self._write_manifest(tmp_path / "camp", probe.pid)
+
+        assert main(["doctor", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "abandoned" in out
+        assert "attention needed" in out.strip().splitlines()[-1]
+
+    def test_non_campaign_jsonl_is_ignored(self, tmp_path, capsys):
+        root = tmp_path / "svc" / "jobs" / "j1"
+        root.mkdir(parents=True)
+        (root / "manifest.jsonl").write_text(
+            json.dumps({"seq": 0, "event": "queued", "pid": 1}) + "\n"
+        )
+        assert main(["doctor", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["campaigns"] == []
+
+    def test_real_killed_campaign_is_abandoned_end_to_end(self, tmp_path):
+        """A genuinely SIGKILLed `repro campaign` leaves an abandoned root."""
+        import json as json_module
+
+        from faults import CrashAt, run_campaign_cli
+        from topologies import fanout_spec
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json_module.dumps(fanout_spec()))
+        root = tmp_path / "camp"
+        rc, _out, _err = run_campaign_cli(
+            [spec_file, "--root", root], cwd=tmp_path,
+            fault=CrashAt("f1", 0, point="run"),
+        )
+        assert rc != 0
+
+        from repro.doctor import diagnose
+
+        report = diagnose([tmp_path])
+        finding = next(c for c in report["campaigns"] if c["root"] == str(root))
+        assert finding["status"] == "abandoned"
+        assert any("--resume" in issue for issue in report["issues"])
+
+
+class TestDoctorShmJson:
+    """The original shm-segment probe, exercised through ``--json``."""
+
+    def test_orphaned_segment_reported_in_json(self, tmp_path, capsys):
+        from pathlib import Path
+
+        from repro.workflow.shm import SHM_NAME_PREFIX
+
+        shm_root = Path("/dev/shm")
+        if not shm_root.is_dir():
+            pytest.skip("no /dev/shm on this platform")
+        fake = shm_root / f"{SHM_NAME_PREFIX}doctor_test"
+        fake.write_bytes(b"\0")
+        try:
+            assert main(["doctor", str(tmp_path), "--json"]) == 1
+            report = json.loads(capsys.readouterr().out)
+            assert fake.name in report["orphaned_shm_segments"]
+            assert report["healthy"] is False
+            assert any(f"/dev/shm/{fake.name}" in issue for issue in report["issues"])
+        finally:
+            fake.unlink()
+
+    def test_clean_json_report_has_all_probe_keys(self, tmp_path, capsys):
+        assert main(["doctor", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["orphaned_shm_segments"] == []
+        assert report["service_roots"] == []
+        assert report["checkpoint_usage"] == []
+        assert report["campaigns"] == []
+        assert report["issues"] == []
+        assert report["healthy"] is True

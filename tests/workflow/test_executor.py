@@ -152,6 +152,7 @@ class TestExecutorBackends:
         assert effective_worker_count(None, 4, backend="process") == 1
 
 
+@pytest.mark.slow  # spawns real shm worker pools
 class TestSharedMemoryBackend:
     @pytest.fixture(autouse=True)
     def no_leaked_segments(self):
