@@ -26,7 +26,12 @@ from typing import List, Tuple
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: markdown files whose fenced ``>>>`` examples must execute as written
-DOCTESTED = ("docs/WORKLOADS.md", "docs/BENCHMARKS.md", "docs/CAMPAIGNS.md")
+DOCTESTED = (
+    "docs/WORKLOADS.md",
+    "docs/BENCHMARKS.md",
+    "docs/CAMPAIGNS.md",
+    "docs/AUTOGRAD.md",
+)
 
 #: scaffolding files quoting material from *other* repositories verbatim —
 #: their links describe those repos, not this one

@@ -62,7 +62,7 @@ Package layout
     One module per paper table/figure, reproducing its rows/series.
 """
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from repro.melissa.run import (
     OnlineTrainingConfig,

@@ -15,7 +15,10 @@ This package is the composable surface over the Melissa/Breed machinery:
   ``on_validation`` hooks.
 * :func:`~repro.api.registry.register_workload`,
   :func:`~repro.api.registry.register_sampler`,
-  :func:`~repro.api.registry.register_activation` — extension points.
+  :func:`~repro.api.registry.register_activation`,
+  :func:`~repro.api.registry.register_architecture` — extension points
+  (built-in surrogate architectures: ``"mlp"``, ``"residual"``,
+  ``"conv2d"``).
 
 Example
 -------
@@ -29,10 +32,13 @@ Example
 
 from repro.api.registry import (
     activation_names,
+    architecture_names,
     get_activation,
+    get_architecture,
     get_sampler,
     get_workload,
     register_activation,
+    register_architecture,
     register_sampler,
     register_workload,
     sampler_names,
@@ -53,10 +59,13 @@ from repro.api.session import OnlineTrainingResult, TrainingSession
 
 __all__ = [
     "activation_names",
+    "architecture_names",
     "get_activation",
+    "get_architecture",
     "get_sampler",
     "get_workload",
     "register_activation",
+    "register_architecture",
     "register_sampler",
     "register_workload",
     "sampler_names",

@@ -20,11 +20,22 @@ from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
 
 from repro import nn
 from repro.api import registry as _registry
-from repro.api.registry import get_sampler, get_workload, register_activation, register_sampler
+from repro.api.registry import (
+    get_sampler,
+    get_workload,
+    register_activation,
+    register_architecture,
+    register_sampler,
+)
 from repro.breed.samplers import BreedConfig, BreedSampler, RandomSampler, SteeringSampler
 from repro.sampling.bounds import HEAT2D_BOUNDS, ParameterBounds
 from repro.solvers.heat2d import Heat2DConfig
-from repro.surrogate.model import SurrogateConfig
+from repro.surrogate.model import (
+    SurrogateConfig,
+    build_conv_surrogate,
+    build_mlp,
+    build_residual_mlp,
+)
 
 # Importing the workloads module populates the workload registry with the
 # built-in ``heat2d`` / ``heat1d`` / ``analytic`` entries.
@@ -66,6 +77,14 @@ for _name, _factory in (("relu", nn.ReLU), ("tanh", nn.Tanh), ("leaky_relu", nn.
     if _name not in _registry.ACTIVATIONS:
         register_activation(_name, _factory)
 
+for _name, _factory in (
+    ("mlp", build_mlp),
+    ("residual", build_residual_mlp),
+    ("conv2d", build_conv_surrogate),
+):
+    if _name not in _registry.ARCHITECTURES:
+        register_architecture(_name, _factory)
+
 
 @dataclass(frozen=True)
 class OnlineTrainingConfig:
@@ -97,6 +116,7 @@ class OnlineTrainingConfig:
     hidden_size: int = 16                      # H
     n_hidden_layers: int = 1                   # L
     activation: str = "relu"
+    architecture: str = "mlp"                  # surrogate-architecture registry key
     learning_rate: float = 1e-3
     batch_size: int = 128                      # B
     # --- framework --------------------------------------------------------
@@ -143,6 +163,11 @@ class OnlineTrainingConfig:
             raise ValueError(
                 f"workload must be one of {_registry.WORKLOADS.names()}, got {self.workload!r}"
             )
+        if self.architecture not in _registry.ARCHITECTURES:
+            raise ValueError(
+                f"architecture must be one of {_registry.ARCHITECTURES.names()}, "
+                f"got {self.architecture!r}"
+            )
         if self.n_simulations < 1:
             raise ValueError("n_simulations must be >= 1")
         if self.batch_size < 1:
@@ -176,6 +201,7 @@ class OnlineTrainingConfig:
             hidden_size=self.hidden_size,
             n_hidden_layers=self.n_hidden_layers,
             activation=self.activation,
+            architecture=self.architecture,
         )
 
     # -------------------------------------------------------- serialization
@@ -198,6 +224,7 @@ class OnlineTrainingConfig:
             "hidden_size",
             "n_hidden_layers",
             "activation",
+            "architecture",
             "learning_rate",
             "batch_size",
             "job_limit",
@@ -228,11 +255,18 @@ class OnlineTrainingConfig:
         its fingerprint — used by study resume and by snapshot/restore
         validation — must not depend on where (or how often) snapshots are
         written.  Configurations predating these fields hash identically.
+
+        The default ``architecture="mlp"`` is likewise dropped from the
+        payload, so every fingerprint computed before the architecture
+        registry existed stays valid; non-default architectures *do*
+        contribute (they change the training mathematics).
         """
         import hashlib
         import json
 
         payload = {k: v for k, v in self.to_dict().items() if k not in CHECKPOINT_FIELDS}
+        if payload.get("architecture") == "mlp":
+            payload.pop("architecture")
         return hashlib.sha256(
             json.dumps(payload, sort_keys=True, default=str).encode()
         ).hexdigest()[:16]
@@ -274,6 +308,7 @@ class OnlineTrainingConfig:
             hidden_size=self.hidden_size,
             n_hidden_layers=self.n_hidden_layers,
             activation=self.activation,
+            architecture=self.architecture,
             learning_rate=1e-3,
             batch_size=128,
             job_limit=10,

@@ -32,6 +32,9 @@ __all__ = [
     "register_activation",
     "get_activation",
     "activation_names",
+    "register_architecture",
+    "get_architecture",
+    "architecture_names",
 ]
 
 F = TypeVar("F", bound=Callable)
@@ -108,6 +111,8 @@ WORKLOADS = Registry("workload")
 SAMPLERS = Registry("sampler")
 #: activation name → ``factory() -> nn.Module``
 ACTIVATIONS = Registry("activation")
+#: surrogate-architecture name → ``factory(SurrogateConfig, rng) -> nn.Module``
+ARCHITECTURES = Registry("architecture")
 
 
 def register_workload(name: str, factory: Optional[Callable] = None, *, overwrite: bool = False) -> Callable:
@@ -153,3 +158,18 @@ def get_activation(name: str) -> Callable:
 def activation_names() -> List[str]:
     """Sorted registry keys of every registered NN activation."""
     return ACTIVATIONS.names()
+
+
+def register_architecture(name: str, factory: Optional[Callable] = None, *, overwrite: bool = False) -> Callable:
+    """Register a surrogate-architecture factory ``factory(config, rng) -> nn.Module``."""
+    return ARCHITECTURES.register(name, factory, overwrite=overwrite)
+
+
+def get_architecture(name: str) -> Callable:
+    """Resolve a surrogate-architecture factory by name (raises ``KeyError`` when unknown)."""
+    return ARCHITECTURES.get(name)
+
+
+def architecture_names() -> List[str]:
+    """Sorted registry keys of every registered surrogate architecture."""
+    return ARCHITECTURES.names()

@@ -165,6 +165,7 @@ class TrainingSession:
                 hidden_size=config.hidden_size,
                 n_hidden_layers=config.n_hidden_layers,
                 activation=config.activation,
+                architecture=config.architecture,
             ),
             self.scalers,
             rng=self.streams.get("model_init"),

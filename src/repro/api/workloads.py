@@ -109,7 +109,11 @@ class Workload(abc.ABC):
         return SurrogateScalers.from_bounds(self.bounds, self.n_timesteps)
 
     def surrogate_config(
-        self, hidden_size: int, n_hidden_layers: int, activation: str
+        self,
+        hidden_size: int,
+        n_hidden_layers: int,
+        activation: str,
+        architecture: str = "mlp",
     ) -> SurrogateConfig:
         """Surrogate architecture matching this workload's geometry."""
         return SurrogateConfig(
@@ -118,6 +122,7 @@ class Workload(abc.ABC):
             hidden_size=hidden_size,
             n_hidden_layers=n_hidden_layers,
             activation=activation,
+            architecture=architecture,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

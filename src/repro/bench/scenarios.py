@@ -6,8 +6,12 @@ Importing this module registers the scenarios (see
 * ``solver/*`` — per-workload trajectory stepping for all registered
   workloads (plus the explicit heat2d stencil, whose fused step is a
   measured optimisation target),
-* ``nn/*`` — surrogate forward, forward+backward+Adam training step, and
-  the bare optimizer update,
+* ``nn/*`` — surrogate forward, forward+backward+Adam training step, the
+  bare optimizer update, the conv-surrogate forward, and the tape-overhead
+  A/B probe (``nn/tape_overhead`` re-runs the training step under an
+  explicit ``Tape`` recording when ``REPRO_TAPE_EXPLICIT=1``, so
+  ``--compare`` between a dark and an enabled report bounds the cost of
+  graph recording),
 * ``reservoir/*`` — buffer ingest (with eviction) and batch draws,
 * ``checkpoint/*`` — full-session snapshot save and restore,
 * ``session/*`` — a small end-to-end on-line training run,
@@ -207,6 +211,74 @@ def _nn_optimizer_step() -> ScenarioRun:
         for _ in range(inner):
             optimizer.step()
         return inner
+
+    return ScenarioRun(fn=fn)
+
+
+@register_scenario(
+    "nn/tape_overhead",
+    units="batches",
+    description="nn/train_step body; REPRO_TAPE_EXPLICIT=1 wraps each step in an explicit Tape "
+                "(A/B probe bounding the graph-recording overhead)",
+)
+def _nn_tape_overhead() -> ScenarioRun:
+    import os
+
+    from repro import nn
+    from repro.nn.tensor import Tape, Tensor
+
+    explicit = os.environ.get("REPRO_TAPE_EXPLICIT", "") not in ("", "0")
+    model, inputs, targets = _surrogate()
+    optimizer = nn.Adam(model.parameters(), lr=1e-3)
+    x, y = Tensor(inputs), Tensor(targets)
+    inner = 10
+
+    def step() -> None:
+        model.zero_grad()
+        loss = nn.functional.per_sample_mse(model(x), y).mean()
+        loss.backward()
+        optimizer.step()
+
+    def fn() -> int:
+        if explicit:
+            for _ in range(inner):
+                with Tape():
+                    step()
+        else:
+            for _ in range(inner):
+                step()
+        return inner
+
+    return ScenarioRun(fn=fn)
+
+
+@register_scenario(
+    "nn/conv_forward",
+    units="samples",
+    description="conv2d surrogate forward pass (8 channels, L=2, batch 64, 32x32 grid)",
+)
+def _nn_conv_forward() -> ScenarioRun:
+    from repro import nn
+    from repro.nn.tensor import Tensor
+    from repro.surrogate.model import SurrogateConfig, build_surrogate
+
+    rng = np.random.default_rng(0)
+    config = SurrogateConfig(
+        input_dim=6,
+        output_dim=32 * 32,
+        hidden_size=8,
+        n_hidden_layers=2,
+        architecture="conv2d",
+    )
+    model = build_surrogate(config, rng=rng)
+    x = Tensor(rng.random((64, 6)))
+    inner = 5
+
+    def fn() -> int:
+        with nn.no_grad():
+            for _ in range(inner):
+                model(x)
+        return inner * 64
 
     return ScenarioRun(fn=fn)
 

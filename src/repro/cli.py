@@ -167,6 +167,7 @@ def _run_fig3a(args: argparse.Namespace) -> Dict[str, object]:
         resume=args.resume,
         checkpoint_every=args.checkpoint_every,
         workload=_single_workload(args, "fig3a"),
+        architecture=args.architecture,
     )
     print(format_table(
         ["architecture", "method", "train MSE", "validation MSE", "gap (val-train)"],
@@ -199,6 +200,7 @@ def _run_fig3b(args: argparse.Namespace) -> Dict[str, object]:
         resume=args.resume,
         checkpoint_every=args.checkpoint_every,
         workload=_single_workload(args, "fig3b"),
+        architecture=args.architecture,
     )
     print(format_table(
         ["hyper-parameter", "value", "train MSE", "validation MSE", "gap (val-train)"],
@@ -267,6 +269,7 @@ def _run_cross(args: argparse.Namespace) -> Dict[str, object]:
         checkpoint=_checkpoint_path(args, "cross"),
         resume=args.resume,
         checkpoint_every=args.checkpoint_every,
+        architecture=args.architecture,
     )
     print(format_table(
         ["workload", "method", "train MSE", "validation MSE", "gap (val-train)"],
@@ -445,6 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload registry key the experiment runs against (default: "
                              "heat2d); repeatable for 'cross', which defaults to every "
                              "registered workload")
+    parser.add_argument("--architecture", default="mlp", metavar="NAME",
+                        help="surrogate-architecture registry key for the study experiments "
+                             "(fig3a, fig3b, cross): mlp (default), residual, conv2d, or any "
+                             "repro.api.register_architecture key")
     parser.add_argument("--factor", action="append", default=None, metavar="NAME",
                         help="fig3b: restrict to this hyper-parameter (repeatable)")
     parser.add_argument("--hidden", action="append", type=int, default=None, metavar="H",

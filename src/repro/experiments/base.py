@@ -145,13 +145,15 @@ def base_config(
     seed: int = 0,
     record_sample_statistics: bool = False,
     workload: str = "heat2d",
+    architecture: str = "mlp",
     **breed_overrides: float,
 ) -> OnlineTrainingConfig:
     """Build an :class:`OnlineTrainingConfig` for a named scale.
 
     ``workload`` selects the scenario (any :func:`repro.api.register_workload`
     key); the 1-D workloads reuse the scale's resolution knobs
-    (``grid_size`` → ``n_points``).
+    (``grid_size`` → ``n_points``).  ``architecture`` selects the surrogate
+    body (any :func:`repro.api.register_architecture` key).
     """
     if scale_name not in SCALES:
         raise KeyError(f"unknown scale {scale_name!r}; options: {sorted(SCALES)}")
@@ -160,6 +162,7 @@ def base_config(
         method=method,
         breed=scaled_breed_config(scale, **breed_overrides),
         workload=workload,
+        architecture=architecture,
         heat=Heat2DConfig(grid_size=scale.grid_size, n_timesteps=scale.n_timesteps),
         n_simulations=scale.n_simulations,
         batch_size=scale.batch_size,

@@ -139,6 +139,7 @@ def run_cross_workload(
     checkpoint: Optional[Union[str, Path]] = None,
     resume: Optional[Union[str, Path]] = None,
     checkpoint_every: Optional[int] = None,
+    architecture: str = "mlp",
 ) -> CrossWorkloadResult:
     """Run the Breed-vs-Random comparison across workloads.
 
@@ -155,9 +156,11 @@ def run_cross_workload(
         Study-engine knobs, identical to the other study experiments —
         the grid parallelises over a process pool and checkpoints/resumes
         through JSONL files and per-run session snapshots.
+    architecture:
+        Surrogate-architecture registry key applied to every run.
     """
     names = list(workloads) if workloads is not None else workload_names()
-    template = base_config(scale, method="breed", seed=seed)
+    template = base_config(scale, method="breed", seed=seed, architecture=architecture)
     sigmas = {name: _scaled_sigma(template, name) for name in names}
     runner = StudyRunner(
         base_config=template, study_name="cross", backend=backend, max_workers=max_workers

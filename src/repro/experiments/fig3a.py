@@ -123,14 +123,18 @@ def run_fig3a(
     resume: Optional[Union[str, Path]] = None,
     checkpoint_every: Optional[int] = None,
     workload: str = "heat2d",
+    architecture: str = "mlp",
 ) -> Fig3aResult:
     """Run the architecture study and return its loss curves.
 
     ``checkpoint_every`` enables mid-run session snapshots: a resumed study
     re-enters partially completed runs at the batch they were killed at;
-    ``workload`` runs the whole grid against another registered scenario.
+    ``workload`` runs the whole grid against another registered scenario and
+    ``architecture`` swaps the surrogate body (registry key).
     """
-    template = base_config(scale, method="breed", seed=seed, workload=workload)
+    template = base_config(
+        scale, method="breed", seed=seed, workload=workload, architecture=architecture
+    )
     runner = StudyRunner(
         base_config=template, study_name="fig3a", backend=backend, max_workers=max_workers
     )

@@ -129,16 +129,20 @@ def run_fig3b(
     resume: Optional[Union[str, Path]] = None,
     checkpoint_every: Optional[int] = None,
     workload: str = "heat2d",
+    architecture: str = "mlp",
 ) -> Fig3bResult:
     """Run the hyper-parameter study (one factor at a time).
 
     ``checkpoint_every`` enables mid-run session snapshots: a resumed study
     re-enters partially completed runs at the batch they were killed at;
-    ``workload`` runs the whole grid against another registered scenario.
+    ``workload`` runs the whole grid against another registered scenario and
+    ``architecture`` swaps the surrogate body (registry key).
     """
     if factors is None:
         factors = SMOKE_FACTORS if scale == "smoke" else PAPER_FACTORS
-    template = base_config(scale, method="breed", seed=seed, workload=workload)
+    template = base_config(
+        scale, method="breed", seed=seed, workload=workload, architecture=architecture
+    )
     runner = StudyRunner(
         base_config=template, study_name="fig3b", backend=backend, max_workers=max_workers
     )

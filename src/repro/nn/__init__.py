@@ -1,15 +1,36 @@
 """NumPy-based neural-network substrate (autograd, layers, losses, optimizers).
 
 This package replaces PyTorch in the reproduction: it provides exactly the
-functionality the paper's surrogate training requires (dense ReLU MLPs, MSE
-with per-sample losses, Adam) implemented on top of a small reverse-mode
-autodiff engine that is verified against finite differences.
+functionality the paper's surrogate training requires (dense ReLU MLPs plus
+residual and convolutional surrogate blocks, MSE with per-sample losses,
+Adam) implemented on top of a small reverse-mode autodiff engine — a recorded
+op graph with a VJP registry (see ``docs/AUTOGRAD.md``) — that is verified
+against finite differences.
 """
 
 from repro.nn import functional
-from repro.nn.grad_check import check_gradients, check_module_gradients, numerical_gradient
+from repro.nn.grad_check import (
+    GradCheckEntry,
+    GradCheckReport,
+    assert_module_gradients,
+    check_gradients,
+    check_module_gradients,
+    grad_check_module,
+    numerical_gradient,
+)
 from repro.nn.init import kaiming_normal, kaiming_uniform, xavier_normal, xavier_uniform
-from repro.nn.layers import Dropout, Identity, LeakyReLU, Linear, ReLU, Sequential, Tanh
+from repro.nn.layers import (
+    Conv2d,
+    Dropout,
+    Identity,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Reshape,
+    Residual,
+    Sequential,
+    Tanh,
+)
 from repro.nn.losses import BatchLossRecord, L1Loss, MSELoss, PerSampleLossTracker
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import SGD, Adam, AdamW, Optimizer
@@ -21,22 +42,41 @@ from repro.nn.schedulers import (
     StepLR,
 )
 from repro.nn.serialization import load_checkpoint, load_state_dict, save_checkpoint, save_state_dict
-from repro.nn.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+from repro.nn.tensor import (
+    Node,
+    Tape,
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    needs_grad,
+    no_grad,
+    register_vjp,
+    stack,
+    vjp_names,
+)
 
 __all__ = [
     "functional",
+    "GradCheckEntry",
+    "GradCheckReport",
+    "assert_module_gradients",
     "check_gradients",
     "check_module_gradients",
+    "grad_check_module",
     "numerical_gradient",
     "kaiming_normal",
     "kaiming_uniform",
     "xavier_normal",
     "xavier_uniform",
+    "Conv2d",
     "Dropout",
     "Identity",
     "LeakyReLU",
     "Linear",
     "ReLU",
+    "Reshape",
+    "Residual",
     "Sequential",
     "Tanh",
     "BatchLossRecord",
@@ -58,10 +98,15 @@ __all__ = [
     "load_state_dict",
     "save_checkpoint",
     "save_state_dict",
+    "Node",
+    "Tape",
     "Tensor",
     "as_tensor",
     "concatenate",
     "is_grad_enabled",
+    "needs_grad",
     "no_grad",
+    "register_vjp",
     "stack",
+    "vjp_names",
 ]

@@ -1,20 +1,37 @@
 """Finite-difference gradient checking for the autograd engine.
 
-Used by the test suite (and available to downstream users extending the layer
-zoo) to verify that analytic gradients produced by
-:meth:`repro.nn.tensor.Tensor.backward` match central finite differences.
+The harness verifies that analytic gradients produced by the recorded-graph
+backward pass (:meth:`repro.nn.tensor.Tensor.backward`) match central finite
+differences.  It has two layers:
+
+* the low-level helpers (:func:`numerical_gradient`, :func:`check_gradients`,
+  :func:`check_module_gradients`) kept for backward compatibility, and
+* the reporting harness (:func:`grad_check_module`,
+  :func:`assert_module_gradients`) producing a per-parameter
+  :class:`GradCheckReport` with named failures and relative errors — the
+  engine of the seeded property-based sweep in ``tests/nn/test_grad_sweep.py``
+  and the recommended tool for downstream users extending the layer zoo.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor
 
-__all__ = ["numerical_gradient", "check_gradients", "check_module_gradients"]
+__all__ = [
+    "GradCheckEntry",
+    "GradCheckReport",
+    "assert_module_gradients",
+    "check_gradients",
+    "check_module_gradients",
+    "grad_check_module",
+    "numerical_gradient",
+]
 
 
 def numerical_gradient(
@@ -63,7 +80,74 @@ def check_gradients(
     return bool(np.allclose(analytic, numeric, rtol=rtol, atol=atol))
 
 
-def check_module_gradients(
+# ---------------------------------------------------------------------------
+# Reporting harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GradCheckEntry:
+    """Finite-difference verdict for one named parameter."""
+
+    name: str
+    max_abs_error: float
+    max_rel_error: float
+    passed: bool
+
+    def describe(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        return (
+            f"{self.name}: {status} "
+            f"(max abs err {self.max_abs_error:.3e}, max rel err {self.max_rel_error:.3e})"
+        )
+
+
+@dataclass(frozen=True)
+class GradCheckReport:
+    """Per-parameter finite-difference comparison of a module's gradients."""
+
+    entries: List[GradCheckEntry]
+
+    @property
+    def ok(self) -> bool:
+        return all(entry.passed for entry in self.entries)
+
+    @property
+    def failures(self) -> List[str]:
+        """Names of every parameter whose analytic gradient did not match."""
+        return [entry.name for entry in self.entries if not entry.passed]
+
+    def describe(self) -> str:
+        """Human-readable multi-line report (failures first)."""
+        ordered = sorted(self.entries, key=lambda e: e.passed)
+        lines = [entry.describe() for entry in ordered]
+        verdict = "all gradients match" if self.ok else f"FAILED parameters: {self.failures}"
+        return "\n".join([verdict, *lines])
+
+
+def _entry(
+    name: str,
+    analytic: Optional[np.ndarray],
+    numeric: np.ndarray,
+    rtol: float,
+    atol: float,
+) -> GradCheckEntry:
+    if analytic is None:
+        return GradCheckEntry(name, float("inf"), float("inf"), passed=False)
+    abs_error = np.abs(analytic - numeric)
+    # Relative error against the larger magnitude, guarded for zeros.
+    scale = np.maximum(np.abs(numeric), np.abs(analytic))
+    rel_error = abs_error / np.where(scale > 0.0, scale, 1.0)
+    passed = bool(np.allclose(analytic, numeric, rtol=rtol, atol=atol))
+    return GradCheckEntry(
+        name,
+        float(abs_error.max()) if abs_error.size else 0.0,
+        float(rel_error.max()) if rel_error.size else 0.0,
+        passed,
+    )
+
+
+def grad_check_module(
     module: Module,
     inputs: np.ndarray,
     targets: np.ndarray,
@@ -72,11 +156,12 @@ def check_module_gradients(
     epsilon: float = 1e-6,
     rtol: float = 1e-3,
     atol: float = 1e-5,
-) -> dict[str, bool]:
-    """Gradient-check every (or a subset of) parameter(s) of a module.
+) -> GradCheckReport:
+    """Central-difference check of every (or a subset of) module parameter(s).
 
-    Returns a mapping ``parameter name -> bool`` indicating whether the
-    analytic gradient matched finite differences.
+    Returns a :class:`GradCheckReport` whose entries carry the parameter
+    name and its maximum absolute/relative error — failures are *named*, so
+    a sweep over architectures pinpoints the offending layer immediately.
     """
     x = Tensor(np.asarray(inputs, dtype=np.float64))
     y = Tensor(np.asarray(targets, dtype=np.float64))
@@ -85,15 +170,11 @@ def check_module_gradients(
     loss = loss_fn(module(x), y)
     loss.backward()
 
-    results: dict[str, bool] = {}
+    entries: List[GradCheckEntry] = []
     named = dict(module.named_parameters())
     names = list(named) if parameters is None else list(parameters)
     for name in names:
         param = named[name]
-        analytic = param.grad
-        if analytic is None:
-            results[name] = False
-            continue
         numeric = np.zeros_like(param.data)
         flat = param.data.reshape(-1)
         numeric_flat = numeric.reshape(-1)
@@ -105,5 +186,43 @@ def check_module_gradients(
             f_minus = float(loss_fn(module(x), y).item())
             flat[index] = original
             numeric_flat[index] = (f_plus - f_minus) / (2.0 * epsilon)
-        results[name] = bool(np.allclose(analytic, numeric, rtol=rtol, atol=atol))
-    return results
+        entries.append(_entry(name, param.grad, numeric, rtol, atol))
+    return GradCheckReport(entries)
+
+
+def assert_module_gradients(
+    module: Module,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    loss_fn: Callable[[Tensor, Tensor], Tensor],
+    parameters: Sequence[str] | None = None,
+    epsilon: float = 1e-6,
+    rtol: float = 1e-3,
+    atol: float = 1e-5,
+) -> GradCheckReport:
+    """Raise ``AssertionError`` (naming every failing parameter) on mismatch."""
+    report = grad_check_module(
+        module, inputs, targets, loss_fn,
+        parameters=parameters, epsilon=epsilon, rtol=rtol, atol=atol,
+    )
+    if not report.ok:
+        raise AssertionError(f"gradient check failed:\n{report.describe()}")
+    return report
+
+
+def check_module_gradients(
+    module: Module,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    loss_fn: Callable[[Tensor, Tensor], Tensor],
+    parameters: Sequence[str] | None = None,
+    epsilon: float = 1e-6,
+    rtol: float = 1e-3,
+    atol: float = 1e-5,
+) -> dict[str, bool]:
+    """Boolean per-parameter verdicts (compatibility wrapper over the report)."""
+    report = grad_check_module(
+        module, inputs, targets, loss_fn,
+        parameters=parameters, epsilon=epsilon, rtol=rtol, atol=atol,
+    )
+    return {entry.name: entry.passed for entry in report.entries}

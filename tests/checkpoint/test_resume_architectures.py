@@ -1,0 +1,52 @@
+"""Kill-and-resume bit-identity for tape-trained non-MLP surrogates.
+
+Extends the resume matrix to the architecture registry: sessions whose
+surrogate body is a residual or convolutional network — trained entirely
+through the recorded-graph backward pass — must survive an arbitrary-tick
+kill and restore with bit-identical metrics, series and weights.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.session import TrainingSession
+from repro.checkpoint import restore_session, save_session
+
+from tests.checkpoint.test_resume_matrix import _drive_to_completion, assert_bit_identical
+
+
+@pytest.mark.parametrize("architecture", ["residual", "conv2d"])
+def test_kill_and_resume_architecture_cell(architecture, make_config, tmp_path):
+    config = make_config(
+        workload="heat2d",
+        method="breed",
+        seed=7,
+        architecture=architecture,
+        hidden_size=4,
+        max_iterations=40,
+    )
+    reference = TrainingSession(config).run()
+
+    killed = TrainingSession(config)
+    for _ in range(9):  # die mid-run, well past the watermark
+        killed.tick()
+    snapshot = save_session(killed, tmp_path)
+    del killed
+
+    resumed = _drive_to_completion(restore_session(snapshot))
+    assert_bit_identical(resumed, reference)
+
+
+def test_architecture_survives_snapshot_roundtrip(make_config, tmp_path):
+    """The restored model is the same network class, not an MLP fallback."""
+    from repro import nn
+
+    config = make_config(architecture="residual", hidden_size=4, max_iterations=40)
+    session = TrainingSession(config)
+    for _ in range(6):
+        session.tick()
+    snapshot = save_session(session, tmp_path)
+    restored = restore_session(snapshot)
+    blocks = [m for m in restored.model.mlp if isinstance(m, nn.Residual)]
+    assert len(blocks) == config.n_hidden_layers
